@@ -1,0 +1,70 @@
+"""Ablation: accuracy and runtime of the four makespan-distribution engines.
+
+The paper states that Dodin, Spelde and the classical method "gave similar
+results" and picked the simplest; this bench quantifies that choice on one
+medium case (random 30/8, UL=1.1): KS error against a large Monte-Carlo
+reference and wall-clock per evaluation.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import (
+    classical_makespan,
+    dodin_makespan,
+    ks_distance,
+    sample_makespans,
+    spelde_makespan,
+)
+from repro.experiments.scale import get_scale
+from repro.platform import random_workload
+from repro.schedule import random_schedule
+from repro.stochastic import StochasticModel
+from repro.util.tables import format_table
+
+
+def _evaluate(scale):
+    model = StochasticModel(ul=1.1, grid_n=scale.grid_n)
+    workload = random_workload(30, 8, rng=2023)
+    rows = []
+    rng = np.random.default_rng(1)
+    for i in range(3):
+        schedule = random_schedule(workload, rng)
+        reference = sample_makespans(
+            schedule, model, rng, n_realizations=scale.mc_realizations
+        )
+        for name, fn in (
+            ("classical", classical_makespan),
+            ("dodin", dodin_makespan),
+            ("spelde", spelde_makespan),
+        ):
+            t0 = time.perf_counter()
+            rv = fn(schedule, model)
+            dt = time.perf_counter() - t0
+            rows.append((f"schedule_{i}", name, ks_distance(rv, reference), dt))
+        t0 = time.perf_counter()
+        mc = sample_makespans(schedule, model, rng, n_realizations=10_000)
+        dt = time.perf_counter() - t0
+        rows.append((f"schedule_{i}", "montecarlo(10k)", ks_distance(mc, reference), dt))
+    return rows
+
+
+def test_ablation_methods(benchmark, report):
+    scale = get_scale(None)
+    rows = benchmark.pedantic(_evaluate, args=(scale,), rounds=1, iterations=1)
+    report(
+        "Ablation — evaluation engines (KS vs large-MC reference, seconds/eval):\n"
+        + format_table(["schedule", "engine", "KS", "time [s]"], rows)
+    )
+    by_engine: dict[str, list[float]] = {}
+    times: dict[str, list[float]] = {}
+    for _, engine, ks, dt in rows:
+        by_engine.setdefault(engine, []).append(ks)
+        times.setdefault(engine, []).append(dt)
+    # All engines stay within loose agreement of the reference...
+    for engine, values in by_engine.items():
+        assert np.mean(values) < 0.5, f"{engine} diverged: {values}"
+    # ...and Spelde is the fastest analytic engine (its selling point).
+    assert np.mean(times["spelde"]) < np.mean(times["classical"])
+    assert np.mean(times["spelde"]) < np.mean(times["dodin"])

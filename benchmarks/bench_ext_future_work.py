@@ -1,0 +1,31 @@
+"""Extension benches: the paper's §VIII future-work questions.
+
+* Pareto-front study — does the E(M)↔σ_M correlation survive near the
+  front?  (It weakens but persists at this scale.)
+* Variable per-task UL — the paper's conjecture that non-constant UL breaks
+  the makespan↔robustness equivalence, making makespan a misleading
+  robustness criterion.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_future_work
+from repro.experiments.scale import get_scale
+
+
+def test_ext_pareto_front(benchmark, report):
+    result = run_once(benchmark, ext_future_work.run_pareto, get_scale(None))
+    report(result.render())
+    assert result.corr_all > 0.5
+    assert len(result.pareto_indices) >= 1
+    # Pareto points are sorted: increasing E(M), decreasing σ_M.
+    ms = [result.makespans[i] for i in result.pareto_indices]
+    sd = [result.stds[i] for i in result.pareto_indices]
+    assert ms == sorted(ms)
+    assert sd == sorted(sd, reverse=True)
+
+
+def test_ext_variable_ul(benchmark, report):
+    result = run_once(benchmark, ext_future_work.run_variable_ul, get_scale(None))
+    report(result.render())
+    # The conjecture: variable UL weakens the makespan↔σ_M correlation.
+    assert result.corr_variable < result.corr_fixed - 0.1

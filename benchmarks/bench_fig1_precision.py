@@ -1,0 +1,12 @@
+"""Benchmark: Figure 1 — precision of the independence assumption."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1_precision
+from repro.experiments.scale import get_scale
+
+
+def test_fig1_precision(benchmark, report):
+    result = run_once(benchmark, fig1_precision.run, get_scale(None))
+    report(result.render())
+    # Paper shape: both error measures grow with graph size.
+    assert result.ks[-1] >= result.ks[0]

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 2 — analytic vs empirical makespan density."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2_visual
+from repro.experiments.scale import get_scale
+
+
+def test_fig2_visual(benchmark, report):
+    result = run_once(benchmark, fig2_visual.run, get_scale(None))
+    report(result.render())
+    # Paper shape: even at mediocre KS the densities overlap substantially.
+    assert result.ks < 0.8
+    overlap = ((result.analytic_pdf > 0) & (result.empirical_pdf > 0)).sum()
+    assert overlap > 20

@@ -1,0 +1,16 @@
+"""Benchmark: Figure 3 — Cholesky 10 tasks / 3 procs / UL=1.01 panel."""
+
+from benchmarks.conftest import run_once
+from repro.core.metrics import METRIC_NAMES
+from repro.experiments import fig345_panels
+from repro.experiments.scale import get_scale
+
+
+def test_fig3_panel(benchmark, report):
+    result = run_once(benchmark, fig345_panels.run_fig3, get_scale(None))
+    report(result.render())
+    p = result.case.pearson
+    i = METRIC_NAMES.index("makespan_std")
+    for other in ("makespan_entropy", "lateness", "abs_prob"):
+        assert p[i, METRIC_NAMES.index(other)] > 0.95
+    assert result.rel_prob_over_m_vs_std > 0.9

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 5 — Gaussian elimination ≈103 tasks / 16 procs / UL=1.1."""
+
+from benchmarks.conftest import run_once
+from repro.core.metrics import METRIC_NAMES
+from repro.experiments import fig345_panels
+from repro.experiments.scale import get_scale
+
+
+def test_fig5_panel(benchmark, report):
+    result = run_once(benchmark, fig345_panels.run_fig5, get_scale(None))
+    report(result.render())
+    p = result.case.pearson
+    i = METRIC_NAMES.index("makespan_std")
+    for other in ("makespan_entropy", "lateness", "abs_prob"):
+        assert p[i, METRIC_NAMES.index(other)] > 0.9

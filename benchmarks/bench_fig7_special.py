@@ -1,0 +1,15 @@
+"""Benchmark: Figure 7 — the multi-modal special distribution."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig78_clt
+from repro.experiments.scale import get_scale
+
+
+def test_fig7_special(benchmark, report):
+    result = run_once(benchmark, fig78_clt.run_fig7, get_scale(None))
+    report(result.render())
+    # Multi-modal by construction, far from its moment-matched normal.
+    diff = np.abs(result.special_pdf - result.normal_pdf).max()
+    assert diff > 0.05

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 8 — CLT convergence of the special distribution."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig78_clt
+from repro.experiments.scale import get_scale
+
+
+def test_fig8_clt(benchmark, report):
+    result = run_once(benchmark, fig78_clt.run_fig8, get_scale(None))
+    report(result.render())
+    # Paper: after ~5 sums almost Gaussian, after ~10 negligible difference.
+    ks = dict(zip(result.counts, result.ks))
+    assert ks[5] < 0.1
+    assert ks[10] < 0.05
+    assert ks[min(max(result.counts), 30)] < ks[1]

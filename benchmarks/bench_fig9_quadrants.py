@@ -1,0 +1,13 @@
+"""Benchmark: Figure 9 — slack × robustness quadrants on a join graph."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9_slack_quadrants
+from repro.experiments.scale import get_scale
+
+
+def test_fig9_quadrants(benchmark, report):
+    result = run_once(benchmark, fig9_slack_quadrants.run, get_scale(None))
+    report(result.render())
+    checks = result.quadrant_check()
+    report(f"quadrant placement: {checks}")
+    assert all(checks.values())

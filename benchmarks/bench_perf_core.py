@@ -1,0 +1,76 @@
+"""Performance micro-benchmarks of the numerical core.
+
+Unlike the figure benches (single-round experiments), these use real
+pytest-benchmark rounds to track the cost of the primitive operations that
+dominate the harness: RV convolution, N-way maxima, the four evaluation
+engines and the scheduling heuristics.  Useful for catching performance
+regressions in the inner loops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    classical_makespan,
+    dodin_makespan,
+    sample_makespans,
+    spelde_makespan,
+)
+from repro.platform import cholesky_workload, random_workload
+from repro.schedule import bil, bmct, dls, heft
+from repro.stochastic import NumericRV, StochasticModel, beta_rv
+
+
+@pytest.fixture(scope="module")
+def model():
+    return StochasticModel(ul=1.1, grid_n=65)
+
+
+@pytest.fixture(scope="module")
+def workload35():
+    return cholesky_workload(5, 4, rng=1)
+
+
+@pytest.fixture(scope="module")
+def schedule35(workload35):
+    return heft(workload35)
+
+
+class TestRvOps:
+    def test_rv_convolution(self, benchmark):
+        a = beta_rv(10.0, 11.0, grid_n=65)
+        b = beta_rv(20.0, 22.0, grid_n=65)
+        benchmark(a.add, b)
+
+    def test_rv_max8(self, benchmark):
+        rvs = [beta_rv(10.0 + i, 12.0 + i, grid_n=65) for i in range(8)]
+        benchmark(NumericRV.max_of, rvs)
+
+    def test_rv_entropy(self, benchmark):
+        rv = beta_rv(10.0, 12.0, grid_n=129)
+        benchmark(rv.entropy)
+
+
+class TestEngines:
+    def test_classical_cholesky35(self, benchmark, schedule35, model):
+        benchmark(classical_makespan, schedule35, model)
+
+    def test_dodin_cholesky35(self, benchmark, schedule35, model):
+        benchmark(dodin_makespan, schedule35, model)
+
+    def test_spelde_cholesky35(self, benchmark, schedule35, model):
+        benchmark(spelde_makespan, schedule35, model)
+
+    def test_montecarlo_10k_cholesky35(self, benchmark, schedule35, model):
+        rng = np.random.default_rng(0)
+        benchmark(sample_makespans, schedule35, model, rng, 10_000)
+
+
+class TestHeuristics:
+    @pytest.fixture(scope="class")
+    def workload60(self):
+        return random_workload(60, 8, rng=2)
+
+    @pytest.mark.parametrize("fn", [heft, bil, bmct, dls], ids=lambda f: f.__name__)
+    def test_heuristic_random60(self, benchmark, workload60, fn):
+        benchmark(fn, workload60)

@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Each benchmark reproduces one figure/table of the paper: it times the
+experiment (one round — these are minutes-long experiments, not
+micro-benchmarks) and prints the text report whose numbers are recorded in
+``EXPERIMENTS.md``.  Scale with ``REPRO_SCALE`` (quick/default/paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an experiment report outside of pytest's capture."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with a single round (experiments, not microbenchmarks)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

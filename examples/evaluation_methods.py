@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Compare the four makespan-distribution evaluation engines.
+
+The paper's methodology section weighs three analytic approximations
+(classical independence assumption, Dodin series-parallel reduction, Spelde
+normal/CLT) against Monte-Carlo ground truth.  This example runs all four
+on the same schedule and reports moments, KS error and runtime — including
+a diamond-graph micro-case where Dodin is visibly more accurate because it
+factors out shared history before taking maxima.
+
+Run:  python examples/evaluation_methods.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro.util.tables import format_table
+
+
+def compare(schedule, model, n_mc=100_000, label=""):
+    reference = repro.sample_makespans(schedule, model, rng=0, n_realizations=n_mc)
+    rows = []
+    for name, fn in (
+        ("classical", repro.classical_makespan),
+        ("dodin", repro.dodin_makespan),
+        ("spelde", repro.spelde_makespan),
+    ):
+        t0 = time.perf_counter()
+        rv = fn(schedule, model)
+        dt = time.perf_counter() - t0
+        mean = rv.mean() if callable(getattr(rv, "mean", None)) else rv.mean
+        std = rv.std() if callable(getattr(rv, "std", None)) else rv.std
+        rows.append((name, mean, std, repro.ks_distance(rv, reference), dt * 1000))
+    rows.append(("MC reference", reference.mean(), reference.std(), 0.0, float("nan")))
+    print(f"\n{label}")
+    print(format_table(["engine", "E(M)", "sigma", "KS vs MC", "time [ms]"], rows))
+
+
+def main() -> None:
+    model = repro.StochasticModel(ul=1.1)
+
+    # A realistic case: Cholesky 35 tasks on 4 machines, HEFT schedule.
+    workload = repro.cholesky_workload(b=5, m=4, rng=3)
+    compare(repro.heft(workload), model, label="Cholesky b=5 (35 tasks), HEFT:")
+
+    # The shared-history stress case: a diamond with a long stochastic source.
+    g = repro.fork_join_dag(2)  # 0 → {1,2} → 3
+    comp = np.repeat(np.array([[40.0], [10.0], [10.0], [5.0]]), 2, axis=1)
+    w = repro.Workload(g, repro.Platform.uniform(2), comp)
+    s = repro.Schedule.from_proc_orders(w, [0, 0, 1, 0], [(0, 1, 3), (2,)])
+    big = repro.StochasticModel(ul=2.0, grid_n=129)
+    compare(s, big, label="diamond with stochastic source (UL=2.0):")
+    print(
+        "\n→ on the diamond, `classical` treats the two branch finish times as\n"
+        "  independent although both contain the source's randomness; `dodin`\n"
+        "  factors the source out first and lands on the Monte-Carlo answer."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a stochastic DAG and measure its robustness.
+
+Walks the full pipeline on the paper's Figure-3 workload (tiled Cholesky,
+10 tasks, 3 heterogeneous machines):
+
+1. build the workload (graph + platform + unrelated cost matrix);
+2. define the uncertainty model (UL = 1.1, Beta(2,5) durations);
+3. schedule with HEFT;
+4. evaluate the makespan *distribution* (analytic + Monte Carlo);
+5. compute all eight robustness metrics of the paper.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    # 1. A tiled-Cholesky workload: b=3 tile columns → 10 tasks, 3 machines.
+    workload = repro.cholesky_workload(b=3, m=3, rng=2007)
+    print(f"workload: {workload.graph.name}, {workload.n_tasks} tasks on {workload.m} machines")
+
+    # 2. The paper's uncertainty model: every duration is a Beta(2,5) on
+    #    [min, UL·min].
+    model = repro.StochasticModel(ul=1.1)
+
+    # 3. Schedule with HEFT (BIL, Hyb.BMCT, CPOP, greedy-EFT also available).
+    schedule = repro.heft(workload)
+    print(f"HEFT deterministic makespan: {schedule.makespan:.2f}")
+
+    # 4a. Analytic makespan distribution (the paper's classical method).
+    rv = repro.classical_makespan(schedule, model)
+    print(f"analytic:    E(M) = {rv.mean():.2f}, sigma_M = {rv.std():.3f}")
+
+    # 4b. Monte-Carlo ground truth (100 000 eager replays, vectorized).
+    samples = repro.sample_makespans(schedule, model, rng=0, n_realizations=100_000)
+    print(f"monte carlo: E(M) = {samples.mean():.2f}, sigma_M = {samples.std():.3f}")
+    print(f"KS(analytic, MC) = {repro.ks_distance(rv, samples):.4f}")
+
+    # 5. All robustness metrics of the paper in one call.
+    metrics = repro.evaluate_schedule(schedule, model)
+    print("\nrobustness metrics (paper §IV):")
+    for name in repro.METRIC_NAMES:
+        print(f"  {name:18s} {getattr(metrics, name):10.4f}")
+
+    # Bonus: probability the makespan stays within 0.5% of its expectation.
+    within = rv.prob_between(rv.mean() * 0.995, rv.mean() * 1.005)
+    print(f"\nP(M within ±0.5% of mean) = {within:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""The slack paradox (paper Figure 9): slack does not imply robustness.
+
+Builds the four join-graph schedules of the paper's discussion — every
+combination of {slack-rich, slack-free} × {robust, non-robust} — and
+verifies each lands in its quadrant, including the max-concentration effect
+(the makespan of many parallel i.i.d. branches is *more* stable than a
+single chain of the same work).
+
+Run:  python examples/slack_paradox.py
+"""
+
+import numpy as np
+
+import repro
+from repro.experiments.fig9_slack_quadrants import build_quadrant_schedules
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    model = repro.StochasticModel(ul=1.5)
+    workload, schedules = build_quadrant_schedules(n_branches=12, rng=7)
+
+    rows = []
+    for label, schedule in schedules.items():
+        sa = repro.slack_analysis(schedule, model)
+        samples = repro.sample_makespans(schedule, model, rng=1, n_realizations=50_000)
+        rows.append((label, samples.mean(), sa.slack_sum, samples.std(),
+                     samples.std() / samples.mean()))
+
+    print("join graph, 12 branches + sink, UL = 1.5:\n")
+    print(format_table(["schedule", "E(M)", "slack", "sigma_M", "CV"], rows))
+
+    print(
+        "\nreading:\n"
+        "  a_spread     — slack-rich AND robust (max of many i.i.d. branches concentrates)\n"
+        "  b_balanced   — slack-free AND robust (balanced sums, CLT)\n"
+        "  c_serial     — slack-free and NON-robust (variances add up)\n"
+        "  d_unbalanced — slack-rich and NON-robust (idle processor ≠ stability)\n"
+        "\n⇒ slack and robustness are independent axes; the paper's σ_M-style\n"
+        "  dispersion metrics measure robustness, slack does not."
+    )
+
+    # The max-concentration effect in isolation: max of k i.i.d. durations.
+    rv = repro.beta_rv(10.0, 15.0)
+    rows = [(k, rv.max_iid(k).mean(), rv.max_iid(k).std()) for k in (1, 2, 4, 16, 64)]
+    print("\nmax of k i.i.d. Beta(2,5) durations on [10, 15]:")
+    print(format_table(["k", "mean", "std"], rows))
+    print("→ the std collapses as k grows (the paper's argument for schedule a).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""repro — reproduction of Canon & Jeannot, *A Comparison of Robustness
+Metrics for Scheduling DAGs on Heterogeneous Systems* (HeteroPar/CLUSTER 2007).
+
+The public API re-exports the main entry points of each subsystem:
+
+* task graphs and workloads (:mod:`repro.dag`, :mod:`repro.platform`),
+* the uncertainty model and numeric random variables (:mod:`repro.stochastic`),
+* schedulers (:mod:`repro.schedule`),
+* makespan-distribution engines (:mod:`repro.analysis`),
+* robustness metrics and correlation studies (:mod:`repro.core`),
+* the paper's experiment harness (:mod:`repro.experiments`).
+
+Quickstart::
+
+    import repro
+
+    workload = repro.cholesky_workload(b=3, m=3, rng=0)
+    model = repro.StochasticModel(ul=1.1)
+    schedule = repro.heft(workload)
+    makespan_rv = repro.classical_makespan(schedule, model)
+    metrics = repro.evaluate_schedule(schedule, model)
+"""
+
+from repro.dag import (
+    TaskGraph,
+    chain_dag,
+    cholesky_dag,
+    fork_dag,
+    fork_join_dag,
+    gaussian_elimination_dag,
+    join_dag,
+    random_dag,
+)
+from repro.platform import (
+    Platform,
+    Workload,
+    cholesky_workload,
+    ge_workload,
+    random_workload,
+    workload_for_graph,
+)
+from repro.stochastic import (
+    NormalRV,
+    NumericRV,
+    StochasticModel,
+    beta_rv,
+    gamma_rv,
+    point_rv,
+    special_rv,
+    uniform_rv,
+)
+from repro.schedule import (
+    Schedule,
+    bil,
+    bmct,
+    cpop,
+    greedy_eft,
+    heft,
+    random_schedule,
+    random_schedules,
+    sigma_heft,
+)
+from repro.analysis import (
+    classical_makespan,
+    cm_distance,
+    dodin_makespan,
+    empirical_cdf,
+    ks_distance,
+    sample_makespans,
+    spelde_makespan,
+)
+from repro.core import (
+    METRIC_NAMES,
+    CaseResult,
+    MetricPanel,
+    RobustnessMetrics,
+    evaluate_case,
+    evaluate_schedule,
+    slack_analysis,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # dag
+    "TaskGraph",
+    "random_dag",
+    "cholesky_dag",
+    "gaussian_elimination_dag",
+    "chain_dag",
+    "fork_dag",
+    "join_dag",
+    "fork_join_dag",
+    # platform
+    "Platform",
+    "Workload",
+    "random_workload",
+    "cholesky_workload",
+    "ge_workload",
+    "workload_for_graph",
+    # stochastic
+    "NumericRV",
+    "NormalRV",
+    "StochasticModel",
+    "beta_rv",
+    "gamma_rv",
+    "uniform_rv",
+    "point_rv",
+    "special_rv",
+    # schedule
+    "Schedule",
+    "random_schedule",
+    "random_schedules",
+    "heft",
+    "bil",
+    "bmct",
+    "cpop",
+    "greedy_eft",
+    "sigma_heft",
+    # analysis
+    "classical_makespan",
+    "dodin_makespan",
+    "spelde_makespan",
+    "sample_makespans",
+    "empirical_cdf",
+    "ks_distance",
+    "cm_distance",
+    # core
+    "METRIC_NAMES",
+    "RobustnessMetrics",
+    "MetricPanel",
+    "CaseResult",
+    "evaluate_schedule",
+    "evaluate_case",
+    "slack_analysis",
+]

@@ -1,0 +1,68 @@
+"""Independence-assumption ("classical") makespan distribution.
+
+Walk the disjunctive graph in topological order; each task's start time is
+the maximum over its (disjunctive) predecessors of *finish + communication*,
+its finish time is *start + duration*.  Sums are convolutions, maxima are
+CDF products — both assume the joining distributions are independent, which
+is exact on (out-)trees and an approximation whenever paths share history.
+The paper used exactly this method for its metric panels after validating it
+against Monte-Carlo realizations (its Figures 1 and 2; our Fig-1/2 harness
+reproduces that validation).
+"""
+
+from __future__ import annotations
+
+from repro.schedule.schedule import Schedule
+from repro.stochastic.model import StochasticModel
+from repro.stochastic.rv import NumericRV
+
+__all__ = ["classical_makespan", "classical_task_finishes"]
+
+
+def classical_task_finishes(
+    schedule: Schedule, model: StochasticModel
+) -> list[NumericRV]:
+    """Finish-time RV of every task under the independence assumption."""
+    w = schedule.workload
+    dis = schedule.disjunctive()
+    proc = schedule.proc
+    finishes: list[NumericRV | None] = [None] * w.n_tasks
+    for v in dis.topo:
+        v = int(v)
+        parts: list[NumericRV] = []
+        for u, volume in dis.preds[v]:
+            fu = finishes[u]
+            assert fu is not None, "topological order violated"
+            pu, pv = int(proc[u]), int(proc[v])
+            if volume is not None and pu != pv:
+                c = w.platform.comm_time(volume, pu, pv)
+                if c > 0.0:
+                    fu = fu.add(model.rv(c))
+            parts.append(fu)
+        if parts:
+            start = NumericRV.max_of(parts)
+        else:
+            start = NumericRV.point(0.0)
+        finishes[v] = start.add(model.rv(w.duration(v, int(proc[v]))))
+    return finishes  # type: ignore[return-value]
+
+
+def classical_makespan(schedule: Schedule, model: StochasticModel) -> NumericRV:
+    """Makespan RV: the max of all exit-task finish distributions."""
+    finishes = classical_task_finishes(schedule, model)
+    return NumericRV.max_of([finishes[v] for v in disjunctive_sinks(schedule)])
+
+
+def disjunctive_sinks(schedule: Schedule) -> list[int]:
+    """Tasks with no successor in the disjunctive graph.
+
+    The makespan is the maximum of exactly these finish times; folding any
+    additional (dominated) task would spuriously widen the distribution under
+    the independence assumption.
+    """
+    dis = schedule.disjunctive()
+    has_succ = set()
+    for v in range(schedule.workload.n_tasks):
+        for u, _ in dis.preds[v]:
+            has_succ.add(u)
+    return [v for v in range(schedule.workload.n_tasks) if v not in has_succ]

@@ -1,0 +1,124 @@
+"""Vectorized Monte-Carlo realization engine.
+
+A *realization* instantiates every computation and communication duration
+from its distribution and replays the schedule eagerly (fixed per-processor
+orders ⇒ longest path over the disjunctive graph).  All ``R`` realizations
+are propagated simultaneously with ``(R,)``-vectorized numpy operations, so
+even the paper's 100 000-realization validation runs in seconds.
+
+Communication durations are drawn independently per edge by default.  The
+``shared_links`` option instead draws one rate factor per processor pair and
+realization — modelling a network whose link speeds fluctuate coherently —
+as a sensitivity extension (the analytic methods cannot represent this
+coupling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedule.schedule import Schedule
+from repro.stochastic.model import StochasticModel
+from repro.util.rng import as_generator
+
+__all__ = ["sample_makespans", "sample_task_times", "empirical_cdf"]
+
+
+def sample_task_times(
+    schedule: Schedule,
+    model: StochasticModel,
+    rng: int | None | np.random.Generator = None,
+    n_realizations: int = 10_000,
+    shared_links: bool = False,
+    task_ul: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sampled start and finish times, each of shape ``(R, n_tasks)``.
+
+    ``task_ul`` optionally overrides the model's uncertainty level *per
+    task* (shape ``(n_tasks,)``) — the paper's future-work scenario (§VIII)
+    where variable UL breaks the proportionality between a task's mean
+    duration and its standard deviation.  Communication durations keep the
+    model's global UL.
+    """
+    if n_realizations < 1:
+        raise ValueError(f"need ≥ 1 realization, got {n_realizations}")
+    gen = as_generator(rng)
+    w = schedule.workload
+    n = w.n_tasks
+    dis = schedule.disjunctive()
+    proc = schedule.proc
+
+    if task_ul is None:
+        durations = model.sample(
+            schedule.min_durations(), gen, size=(n_realizations, n)
+        )
+    else:
+        task_ul = np.asarray(task_ul, dtype=float)
+        if task_ul.shape != (n,):
+            raise ValueError(f"task_ul must have shape ({n},), got {task_ul.shape}")
+        if np.any(task_ul < 1.0):
+            raise ValueError("per-task uncertainty levels must be ≥ 1")
+        mins = schedule.min_durations()
+        b = gen.beta(model.alpha, model.beta, size=(n_realizations, n))
+        durations = mins * (1.0 + (task_ul - 1.0) * b)
+
+    # Pre-draw communication samples for every cross-processor application edge.
+    comm_samples: dict[tuple[int, int], np.ndarray] = {}
+    if shared_links:
+        factors = 1.0 + (model.ul - 1.0) * gen.beta(
+            model.alpha, model.beta, size=(n_realizations, w.m, w.m)
+        )
+        for u, v, c in schedule.comm_edges():
+            p, q = int(proc[u]), int(proc[v])
+            comm_samples[(u, v)] = c * factors[:, p, q]
+    else:
+        for u, v, c in schedule.comm_edges():
+            comm_samples[(u, v)] = model.sample(c, gen, size=n_realizations)
+
+    start = np.zeros((n_realizations, n))
+    finish = np.zeros((n_realizations, n))
+    for v in dis.topo:
+        v = int(v)
+        acc: np.ndarray | None = None
+        for u, volume in dis.preds[v]:
+            arrival = finish[:, u]
+            if volume is not None and int(proc[u]) != int(proc[v]):
+                comm = comm_samples.get((u, v))
+                if comm is not None:
+                    arrival = arrival + comm
+            acc = arrival if acc is None else np.maximum(acc, arrival)
+        if acc is not None:
+            start[:, v] = acc
+        finish[:, v] = start[:, v] + durations[:, v]
+    return start, finish
+
+
+def sample_makespans(
+    schedule: Schedule,
+    model: StochasticModel,
+    rng: int | None | np.random.Generator = None,
+    n_realizations: int = 10_000,
+    shared_links: bool = False,
+    task_ul: np.ndarray | None = None,
+) -> np.ndarray:
+    """``(R,)`` sampled makespans of ``schedule`` under ``model``."""
+    _, finish = sample_task_times(
+        schedule,
+        model,
+        rng,
+        n_realizations,
+        shared_links=shared_links,
+        task_ul=task_ul,
+    )
+    return finish.max(axis=1)
+
+
+def empirical_cdf(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted support and empirical CDF values of ``samples``.
+
+    Returns ``(xs, F)`` with ``F[i] = P(X ≤ xs[i]) = (i+1)/len``.
+    """
+    xs = np.sort(np.asarray(samples, dtype=float))
+    if xs.size == 0:
+        raise ValueError("empirical_cdf of empty sample")
+    return xs, np.arange(1, xs.size + 1, dtype=float) / xs.size

@@ -1,0 +1,51 @@
+"""The paper's primary contribution: robustness metrics and their comparison.
+
+Eight metrics are computed per schedule (§IV):
+
+1. expected makespan ``E(M)`` (the performance metric itself),
+2. makespan standard deviation ``σ_M``,
+3. makespan differential entropy ``h(M)``,
+4. average slack ``S = Σ_i (M − Bl(i) − Tl(i))``,
+5. slack standard deviation ``σ_S``,
+6. average lateness ``L = E(M | M > E(M)) − E(M)``,
+7. absolute probabilistic metric ``A(δ) = P(E−δ ≤ M ≤ E+δ)``,
+8. relative probabilistic metric ``R(γ) = P(E/γ ≤ M ≤ γE)``
+   (plus the derived ``R(γ)/E(M)`` column discussed in §VII).
+
+:class:`MetricPanel` collects these for a population of schedules (random +
+heuristic), applies the paper's *minimization orientation* (slack and the
+probabilistic metrics are inverted so smaller is always better), and
+produces the Pearson correlation matrices of Figures 3–6.
+"""
+
+from repro.core.metrics import (
+    DEFAULT_DELTA,
+    DEFAULT_GAMMA,
+    METRIC_NAMES,
+    RobustnessMetrics,
+    evaluate_schedule,
+)
+from repro.core.slack import SlackAnalysis, slack_analysis
+from repro.core.panel import MetricPanel
+from repro.core.correlation import aggregate_matrices, pearson, pearson_matrix
+from repro.core.related import england_ks_metric, late_ratio, robustness_radius
+from repro.core.study import CaseResult, evaluate_case
+
+__all__ = [
+    "METRIC_NAMES",
+    "DEFAULT_DELTA",
+    "DEFAULT_GAMMA",
+    "RobustnessMetrics",
+    "evaluate_schedule",
+    "SlackAnalysis",
+    "slack_analysis",
+    "MetricPanel",
+    "pearson",
+    "pearson_matrix",
+    "aggregate_matrices",
+    "CaseResult",
+    "evaluate_case",
+    "robustness_radius",
+    "england_ks_metric",
+    "late_ratio",
+]

@@ -1,0 +1,72 @@
+"""Pearson correlation machinery for the metric panels.
+
+The paper compares metrics pairwise "visually and with the statistical
+Pearson correlation coefficient" and aggregates 24 experiments into two
+matrices: the mean and the standard deviation of the per-case Pearson
+coefficients (Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["pearson", "pearson_matrix", "aggregate_matrices"]
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient, NaN-safe.
+
+    Returns NaN when either series is (numerically) constant — correlation
+    is undefined there; aggregation ignores NaNs.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("pearson() expects two equal-length 1-D arrays")
+    if len(x) < 2:
+        return float("nan")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt((xc * xc).sum() * (yc * yc).sum())
+    if denom < 1e-300 or not np.isfinite(denom):
+        return float("nan")
+    return float(np.clip((xc * yc).sum() / denom, -1.0, 1.0))
+
+
+def pearson_matrix(columns: np.ndarray) -> np.ndarray:
+    """Pairwise Pearson matrix of the columns of ``(k, d)`` data.
+
+    The diagonal is 1 by convention; NaN marks undefined entries.
+    """
+    columns = np.asarray(columns, dtype=float)
+    if columns.ndim != 2:
+        raise ValueError(f"expected a (samples, metrics) matrix, got {columns.shape}")
+    d = columns.shape[1]
+    out = np.eye(d)
+    for i in range(d):
+        for j in range(i + 1, d):
+            r = pearson(columns[:, i], columns[:, j])
+            out[i, j] = out[j, i] = r
+    return out
+
+
+def aggregate_matrices(
+    matrices: Sequence[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Element-wise mean and std of Pearson matrices over cases (Figure 6).
+
+    NaN entries (undefined correlations in some case) are excluded
+    per-element; an element undefined in *every* case stays NaN.
+    """
+    if not matrices:
+        raise ValueError("no matrices to aggregate")
+    stack = np.stack([np.asarray(m, dtype=float) for m in matrices])
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", category=RuntimeWarning)
+        mean = np.nanmean(stack, axis=0)
+        std = np.nanstd(stack, axis=0)
+    return mean, std

@@ -1,0 +1,159 @@
+"""The eight robustness metrics of §IV, evaluated per schedule.
+
+:func:`evaluate_schedule` runs one of the four analysis engines on a
+schedule and extracts every metric from the resulting makespan distribution
+(plus the mean-value slack analysis).  The probabilistic metric bounds
+default to the paper's choices (δ = 0.1, γ = 1.0003), which were tuned so
+that values spread over ``[0, 1]`` at the paper's scale of makespans — both
+are exposed as parameters because other workloads need different bounds
+(§V: "for different ULs, communication costs or processor weights ...
+these values should be adapted").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.analysis.classical import classical_makespan
+from repro.analysis.dodin import dodin_makespan
+from repro.analysis.montecarlo import sample_makespans
+from repro.analysis.spelde import spelde_makespan
+from repro.core.slack import slack_analysis
+from repro.schedule.schedule import Schedule
+from repro.stochastic.model import StochasticModel
+from repro.stochastic.normal import NormalRV
+from repro.stochastic.rv import NumericRV
+from repro.util.rng import as_generator
+
+__all__ = [
+    "METRIC_NAMES",
+    "DEFAULT_DELTA",
+    "DEFAULT_GAMMA",
+    "RobustnessMetrics",
+    "evaluate_schedule",
+    "metrics_from_distribution",
+]
+
+#: Paper §V: probabilistic metric bounds.
+DEFAULT_DELTA = 0.1
+DEFAULT_GAMMA = 1.0003
+
+#: Panel column order — matches the paper's Figures 3–6 top-to-bottom order.
+METRIC_NAMES = (
+    "makespan",
+    "makespan_std",
+    "makespan_entropy",
+    "slack_sum",
+    "slack_std",
+    "lateness",
+    "abs_prob",
+    "rel_prob",
+)
+
+Method = Literal["classical", "dodin", "spelde", "montecarlo"]
+
+
+@dataclass(frozen=True)
+class RobustnessMetrics:
+    """All §IV metrics of one schedule (raw, un-inverted values)."""
+
+    makespan: float
+    makespan_std: float
+    makespan_entropy: float
+    slack_sum: float
+    slack_std: float
+    lateness: float
+    abs_prob: float
+    rel_prob: float
+
+    def as_array(self) -> np.ndarray:
+        """Values in :data:`METRIC_NAMES` order."""
+        return np.array([getattr(self, name) for name in METRIC_NAMES])
+
+    @property
+    def rel_prob_over_makespan(self) -> float:
+        """The derived ``R(γ)/E(M)`` quantity of §VII (≈ perfectly
+        anti-correlated with σ_M per the paper)."""
+        return self.rel_prob / self.makespan
+
+
+def metrics_from_distribution(
+    makespan_rv: NumericRV | NormalRV,
+    delta: float = DEFAULT_DELTA,
+    gamma: float = DEFAULT_GAMMA,
+) -> tuple[float, float, float, float, float, float]:
+    """Extract the six distribution-based metrics from a makespan RV.
+
+    Returns ``(mean, std, entropy, lateness, abs_prob, rel_prob)``.
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be ≥ 0, got {delta}")
+    if gamma < 1:
+        raise ValueError(f"gamma must be ≥ 1, got {gamma}")
+    if isinstance(makespan_rv, NormalRV):
+        mean = makespan_rv.mean
+        return (
+            mean,
+            makespan_rv.std,
+            makespan_rv.entropy(),
+            makespan_rv.lateness(),
+            makespan_rv.prob_within(delta),
+            makespan_rv.prob_within_factor(gamma),
+        )
+    mean = makespan_rv.mean()
+    lateness = makespan_rv.mean_above(mean) - mean
+    return (
+        mean,
+        makespan_rv.std(),
+        makespan_rv.entropy(),
+        lateness,
+        makespan_rv.prob_between(mean - delta, mean + delta),
+        makespan_rv.prob_between(mean / gamma, mean * gamma),
+    )
+
+
+def evaluate_schedule(
+    schedule: Schedule,
+    model: StochasticModel,
+    method: Method = "classical",
+    delta: float = DEFAULT_DELTA,
+    gamma: float = DEFAULT_GAMMA,
+    n_realizations: int = 10_000,
+    rng: int | None | np.random.Generator = None,
+) -> RobustnessMetrics:
+    """Compute all §IV metrics for ``schedule`` under ``model``.
+
+    ``method`` selects the makespan-distribution engine; ``n_realizations``
+    and ``rng`` only apply to ``"montecarlo"``.
+    """
+    if method == "classical":
+        rv: NumericRV | NormalRV = classical_makespan(schedule, model)
+    elif method == "dodin":
+        rv = dodin_makespan(schedule, model)
+    elif method == "spelde":
+        rv = spelde_makespan(schedule, model)
+    elif method == "montecarlo":
+        samples = sample_makespans(
+            schedule, model, as_generator(rng), n_realizations
+        )
+        rv = NumericRV.from_samples(samples, grid_n=model.grid_n)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    mean, std, entropy, lateness, abs_p, rel_p = metrics_from_distribution(
+        rv, delta=delta, gamma=gamma
+    )
+    slack = slack_analysis(schedule, model)
+    return RobustnessMetrics(
+        makespan=mean,
+        makespan_std=std,
+        makespan_entropy=entropy,
+        slack_sum=slack.slack_sum,
+        slack_std=slack.slack_std,
+        lateness=lateness,
+        abs_prob=abs_p,
+        rel_prob=rel_p,
+    )

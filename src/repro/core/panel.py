@@ -1,0 +1,149 @@
+"""Metric panels: (schedules × metrics) matrices and their orientation.
+
+A :class:`MetricPanel` holds the raw §IV metric values of a population of
+schedules.  Before correlating or plotting, the paper flips three metrics so
+that *optimizing = minimizing* holds for every column (§VI):
+
+* average slack  → ``max(S) − S``   (robust schedules were assumed slack-rich),
+* A(δ) and R(γ) → ``1 − p``         (probabilities to be maximized).
+
+The entropy column needs care: a deterministic makespan has entropy −∞.
+Those values are kept raw in :attr:`values` but excluded (as NaN) from the
+oriented matrix used for correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.correlation import pearson_matrix
+from repro.core.metrics import METRIC_NAMES, RobustnessMetrics
+from repro.util.tables import format_matrix, format_table
+
+__all__ = ["MetricPanel", "INVERTED_METRICS"]
+
+#: Metrics the paper inverts so that smaller is better (§VI).
+INVERTED_METRICS = ("slack_sum", "abs_prob", "rel_prob")
+
+
+@dataclass(frozen=True)
+class MetricPanel:
+    """Raw metric values for a population of schedules.
+
+    Attributes
+    ----------
+    values:
+        ``(n_schedules, 8)`` array in :data:`METRIC_NAMES` column order.
+    labels:
+        One label per row (``"random_17"``, ``"HEFT"``, …).
+    """
+
+    values: np.ndarray
+    labels: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        object.__setattr__(self, "values", values)
+        if values.ndim != 2 or values.shape[1] != len(METRIC_NAMES):
+            raise ValueError(
+                f"values must be (k, {len(METRIC_NAMES)}), got {values.shape}"
+            )
+        if self.labels and len(self.labels) != values.shape[0]:
+            raise ValueError("labels length must match the number of rows")
+
+    @classmethod
+    def from_metrics(
+        cls,
+        metrics: Sequence[RobustnessMetrics],
+        labels: Sequence[str] | None = None,
+    ) -> "MetricPanel":
+        """Stack :class:`RobustnessMetrics` rows into a panel."""
+        if not metrics:
+            raise ValueError("cannot build an empty panel")
+        values = np.stack([m.as_array() for m in metrics])
+        return cls(values, tuple(labels) if labels is not None else ())
+
+    @property
+    def n_schedules(self) -> int:
+        """Number of schedules (rows)."""
+        return self.values.shape[0]
+
+    def column(self, name: str) -> np.ndarray:
+        """Raw values of one metric."""
+        return self.values[:, METRIC_NAMES.index(name)]
+
+    def rel_prob_over_makespan(self) -> np.ndarray:
+        """The derived §VII column ``R(γ)/E(M)``."""
+        return self.column("rel_prob") / self.column("makespan")
+
+    def oriented_rel_prob_over_makespan(self) -> np.ndarray:
+        """Minimization-oriented §VII column: ``max(R/M) − R(γ)/E(M)``.
+
+        The paper divides R(γ) by the makespan and applies its
+        max-minus-value inversion; since ``R(γ)/M ∝ 1/σ_M`` for small
+        ``γ − 1``, the oriented column correlates ≈ +0.998 with σ_M.
+        """
+        ratio = self.rel_prob_over_makespan()
+        return np.nanmax(ratio) - ratio
+
+    def oriented(self) -> np.ndarray:
+        """Values with the paper's minimization orientation applied.
+
+        Inverted columns: slack → ``max − S``; probabilities → ``1 − p``.
+        Non-finite entropies (deterministic makespans) become NaN.
+        """
+        out = self.values.copy()
+        idx_slack = METRIC_NAMES.index("slack_sum")
+        finite_max = np.nanmax(out[:, idx_slack])
+        out[:, idx_slack] = finite_max - out[:, idx_slack]
+        for name in ("abs_prob", "rel_prob"):
+            idx = METRIC_NAMES.index(name)
+            out[:, idx] = 1.0 - out[:, idx]
+        idx_h = METRIC_NAMES.index("makespan_entropy")
+        out[~np.isfinite(out[:, idx_h]), idx_h] = np.nan
+        return out
+
+    def pearson(self, oriented: bool = True) -> np.ndarray:
+        """8×8 Pearson matrix (rows with any NaN are dropped pairwise)."""
+        data = self.oriented() if oriented else self.values
+        mask = np.all(np.isfinite(data), axis=1)
+        return pearson_matrix(data[mask])
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def pearson_table(self) -> str:
+        """Monospace rendering of the Pearson matrix with metric labels."""
+        return format_matrix(self.pearson(), list(METRIC_NAMES))
+
+    def to_csv(self) -> str:
+        """The raw panel as CSV (one row per schedule, label first).
+
+        Useful for regenerating the paper's scatter matrices in any plotting
+        tool; the experiment CLI can dump these for external analysis.
+        """
+        lines = ["label," + ",".join(METRIC_NAMES)]
+        for i in range(self.n_schedules):
+            label = self.labels[i] if self.labels else str(i)
+            cells = ",".join(repr(float(v)) for v in self.values[i])
+            lines.append(f"{label},{cells}")
+        return "\n".join(lines) + "\n"
+
+    def rows_table(self, only_labeled: bool = False) -> str:
+        """Monospace rendering of (a subset of) the raw panel rows.
+
+        With ``only_labeled`` only rows whose label does not start with
+        ``random`` are shown — i.e. the heuristics' rows.
+        """
+        headers = ["schedule", *METRIC_NAMES]
+        rows = []
+        for i in range(self.n_schedules):
+            label = self.labels[i] if self.labels else str(i)
+            if only_labeled and label.startswith("random"):
+                continue
+            rows.append([label, *self.values[i]])
+        return format_table(headers, rows)

@@ -1,0 +1,139 @@
+"""Related-work robustness metrics discussed (but not panelled) in §III.
+
+The paper's related-work section reviews three further metric families and
+argues about their applicability; we implement all three so the arguments
+can be checked empirically:
+
+* **Robustness radius** (Ali, Maciejewski, Siegel & Kim 2004) — the
+  smallest *relative* inflation of the task/communication durations that
+  pushes the makespan beyond a tolerance bound ``τ·M_min``.  For eager
+  schedules the makespan is monotone and continuous in the durations, so
+  along the uniform-inflation direction the radius has a closed form via
+  replay; :func:`robustness_radius` computes it by bisection on the eager
+  replay (robust to non-linearities such as changing critical paths).
+  Larger radius = more robust.  The paper notes this metric "requires a lot
+  of effort and depends on the studied system" and ignores likelihoods —
+  under the paper's proportional-UL model it is in fact *makespan-blind*
+  (every schedule degrades proportionally), which
+  ``bench_ext_related_metrics.py`` demonstrates.
+
+* **KS-based metric** (England, Weissman & Sadagopan 2005) — the
+  Kolmogorov–Smirnov distance between the performance CDF under nominal
+  conditions and under perturbation.  The paper §III criticizes it: when
+  the nominal metric is a single value (a Dirac, as for a deterministic
+  schedule length), the KS distance is *always 1* regardless of the
+  schedule.  :func:`england_ks_metric` implements the metric with both
+  nominal choices — the degenerate Dirac nominal (shows the saturation) and
+  a milder low-UL nominal (usable variant).
+
+* **Late ratio** (Shi, Jeannot & Dongarra 2006 — their R2) — the
+  probability that a realization exceeds the *expected* makespan,
+  ``P(M > E(M))``; companion of the average lateness (their R1) which the
+  paper does panel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.classical import classical_makespan
+from repro.schedule.schedule import Schedule
+from repro.stochastic.model import StochasticModel
+from repro.stochastic.rv import NumericRV
+
+__all__ = ["robustness_radius", "england_ks_metric", "late_ratio"]
+
+
+def _replay_makespan(schedule: Schedule, inflation: float) -> float:
+    """Deterministic eager makespan with all durations scaled by (1+inflation).
+
+    Both computation and communication durations inflate; with zero latency
+    the whole time axis scales linearly, but we replay rather than scale so
+    the function stays correct for platforms with latency (where the
+    critical path can change).
+    """
+    w = schedule.workload
+    dis = schedule.disjunctive()
+    proc = schedule.proc
+    factor = 1.0 + inflation
+    finish = np.zeros(w.n_tasks)
+    for v in dis.topo:
+        v = int(v)
+        start = 0.0
+        pv = int(proc[v])
+        for u, volume in dis.preds[v]:
+            comm = 0.0
+            pu = int(proc[u])
+            if volume is not None and pu != pv:
+                comm = w.platform.comm_time(volume, pu, pv) * factor
+            start = max(start, finish[u] + comm)
+        finish[v] = start + w.comp[v, pv] * factor
+    return float(finish.max())
+
+
+def robustness_radius(
+    schedule: Schedule,
+    tolerance: float = 1.2,
+    max_inflation: float = 10.0,
+    rel_tol: float = 1e-6,
+) -> float:
+    """Ali et al. robustness radius along the uniform-inflation direction.
+
+    Returns the largest uniform relative duration inflation ``λ`` such that
+    the eagerly replayed makespan stays ≤ ``tolerance · M_min`` (the
+    deterministic minimum makespan).  ``inf`` would mean the bound is
+    unreachable; inflation is capped at ``max_inflation``.
+    """
+    if tolerance <= 1.0:
+        raise ValueError(f"tolerance must exceed 1, got {tolerance}")
+    bound = tolerance * schedule.makespan
+    if _replay_makespan(schedule, max_inflation) <= bound:
+        return max_inflation
+    lo, hi = 0.0, max_inflation
+    while hi - lo > rel_tol * max(hi, 1.0):
+        mid = 0.5 * (lo + hi)
+        if _replay_makespan(schedule, mid) <= bound:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def england_ks_metric(
+    schedule: Schedule,
+    model: StochasticModel,
+    nominal_ul: float | None = None,
+) -> float:
+    """England et al. KS robustness: distance(nominal CDF, perturbed CDF).
+
+    ``nominal_ul=None`` uses the paper's §III reading — the nominal
+    performance is the single deterministic value (a Dirac at the minimum
+    makespan), in which case the distance saturates at ≈1 for every
+    schedule, demonstrating the criticism.  Passing e.g. ``nominal_ul=1.01``
+    uses a mildly perturbed nominal instead — and, as the related-metrics
+    bench shows, the distance *still* saturates whenever the perturbation
+    shifts the mean by more than a few nominal standard deviations, which
+    is the generic case under the paper's proportional model.  The metric
+    is therefore non-discriminative for this problem either way, an even
+    stronger version of the paper's argument.  Smaller = more robust.
+    """
+    perturbed = classical_makespan(schedule, model)
+    if nominal_ul is None:
+        nominal: NumericRV = NumericRV.point(schedule.makespan)
+    else:
+        nominal = classical_makespan(schedule, model.with_ul(nominal_ul))
+    from repro.analysis.distance import ks_distance
+
+    return ks_distance(nominal, perturbed)
+
+
+def late_ratio(schedule: Schedule, model: StochasticModel) -> float:
+    """Shi et al. R2: probability that a realization is late, P(M > E(M)).
+
+    For near-Gaussian makespans this hovers around ½ regardless of the
+    schedule (slightly above ½ for right-skewed distributions), which is
+    why the paper panels the average lateness (R1, magnitude-aware) rather
+    than the ratio.
+    """
+    rv = classical_makespan(schedule, model)
+    return 1.0 - float(rv.cdf(rv.mean()))

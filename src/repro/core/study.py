@@ -1,0 +1,91 @@
+"""Per-case study runner: random schedules + heuristics → metric panel.
+
+One *case* of the paper's experiment is: a workload, an uncertainty level,
+``K`` random schedules plus the three heuristic schedules, all evaluated
+with the same engine and collected into a :class:`MetricPanel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import (
+    DEFAULT_DELTA,
+    DEFAULT_GAMMA,
+    Method,
+    RobustnessMetrics,
+    evaluate_schedule,
+)
+from repro.core.panel import MetricPanel
+from repro.platform.workload import Workload
+from repro.schedule import ALL_HEURISTICS
+from repro.schedule.random_schedule import random_schedules
+from repro.stochastic.model import StochasticModel
+from repro.util.rng import as_generator
+
+__all__ = ["CaseResult", "evaluate_case"]
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Panel + correlation matrix of one experiment case."""
+
+    name: str
+    panel: MetricPanel
+    pearson: np.ndarray
+    heuristic_metrics: dict[str, RobustnessMetrics]
+
+
+def evaluate_case(
+    workload: Workload,
+    model: StochasticModel,
+    n_random: int,
+    rng: int | None | np.random.Generator = None,
+    heuristics: tuple[str, ...] = ("heft", "bil", "bmct"),
+    method: Method = "classical",
+    delta: float = DEFAULT_DELTA,
+    gamma: float = DEFAULT_GAMMA,
+    name: str = "",
+) -> CaseResult:
+    """Evaluate ``n_random`` random schedules + ``heuristics`` on one case.
+
+    The Pearson matrix is computed over the *random* schedules only, with
+    the paper's orientation; heuristic rows are appended to the panel (they
+    are plotted as highlighted points in the paper's figures, not included
+    in the correlations).
+    """
+    if n_random < 2:
+        raise ValueError("need at least two random schedules for correlations")
+    gen = as_generator(rng)
+    metrics: list[RobustnessMetrics] = []
+    labels: list[str] = []
+    for schedule in random_schedules(workload, n_random, gen):
+        metrics.append(
+            evaluate_schedule(
+                schedule, model, method=method, delta=delta, gamma=gamma, rng=gen
+            )
+        )
+        labels.append(schedule.label)
+
+    random_panel = MetricPanel.from_metrics(metrics, labels)
+    pearson = random_panel.pearson()
+
+    heuristic_metrics: dict[str, RobustnessMetrics] = {}
+    for hname in heuristics:
+        schedule = ALL_HEURISTICS[hname](workload)
+        hm = evaluate_schedule(
+            schedule, model, method=method, delta=delta, gamma=gamma, rng=gen
+        )
+        heuristic_metrics[hname] = hm
+        metrics.append(hm)
+        labels.append(schedule.label)
+
+    panel = MetricPanel.from_metrics(metrics, labels)
+    return CaseResult(
+        name=name or workload.graph.name,
+        panel=panel,
+        pearson=pearson,
+        heuristic_metrics=heuristic_metrics,
+    )

@@ -1,0 +1,45 @@
+"""Task graphs: the application model of the paper.
+
+A parallel application is a DAG ``G = (V, E, C)`` — tasks, precedence edges,
+and per-edge communication volumes.  This package provides the container
+(:class:`TaskGraph`), the three graph families used in the paper's
+experiments (layered random DAGs, tiled Cholesky factorization, Gaussian
+elimination), the fork/join builders used by the slack discussion
+(Figure 9), and structural property helpers (levels, longest paths).
+"""
+
+from repro.dag.graph import TaskGraph
+from repro.dag.random_dag import random_dag
+from repro.dag.cholesky import cholesky_dag, cholesky_task_count
+from repro.dag.gaussian_elim import gaussian_elimination_dag, ge_task_count
+from repro.dag.fork_join import chain_dag, fork_dag, fork_join_dag, join_dag
+from repro.dag.lu import lu_dag, lu_task_count
+from repro.dag.trees import in_tree_dag, out_tree_dag, tree_task_count
+from repro.dag.properties import (
+    bottom_levels,
+    critical_path,
+    graph_levels,
+    top_levels,
+)
+
+__all__ = [
+    "TaskGraph",
+    "random_dag",
+    "cholesky_dag",
+    "cholesky_task_count",
+    "gaussian_elimination_dag",
+    "ge_task_count",
+    "chain_dag",
+    "fork_dag",
+    "join_dag",
+    "fork_join_dag",
+    "lu_dag",
+    "lu_task_count",
+    "out_tree_dag",
+    "in_tree_dag",
+    "tree_task_count",
+    "graph_levels",
+    "top_levels",
+    "bottom_levels",
+    "critical_path",
+]

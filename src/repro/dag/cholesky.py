@@ -1,0 +1,87 @@
+"""Tiled Cholesky factorization task graph.
+
+The right-looking tiled Cholesky of a ``b × b`` tile matrix has four kernel
+families; with ``0 ≤ k < b`` and using ``U(k, i, j)`` for the trailing-matrix
+update of tile ``(i, j)`` by panel ``k``:
+
+* ``POTRF(k)``   — factor diagonal tile ``k``; depends on ``U(k−1, k, k)``;
+* ``TRSM(k, i)`` — triangular solve of tile ``(i, k)``, ``i > k``; depends on
+  ``POTRF(k)`` and ``U(k−1, i, k)``;
+* ``U(k, i, j)`` for ``k < j ≤ i < b`` — GEMM/SYRK update; depends on
+  ``TRSM(k, i)``, ``TRSM(k, j)`` and ``U(k−1, i, j)``.
+
+Task counts: ``b`` POTRF, ``b(b−1)/2`` TRSM and ``b(b²−1)/6`` updates —
+``b = 3`` gives the paper's 10-task Cholesky graph (Figure 3), ``b = 5``
+gives 35 (≈30) and ``b = 7`` gives 84 (≈100).
+
+All edges carry the same communication volume (a tile), set by ``volume``.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskGraph
+
+__all__ = ["cholesky_dag", "cholesky_task_count"]
+
+
+def cholesky_task_count(b: int) -> int:
+    """Number of tasks of the tiled Cholesky DAG with ``b`` tile columns."""
+    if b < 1:
+        raise ValueError(f"b must be ≥ 1, got {b}")
+    return b + b * (b - 1) // 2 + b * (b * b - 1) // 6
+
+
+def cholesky_dag(b: int, volume: float = 2.0, name: str | None = None) -> TaskGraph:
+    """Build the tiled Cholesky DAG for ``b`` tile columns.
+
+    Parameters
+    ----------
+    b:
+        Number of tile columns (``b = 3`` reproduces the paper's 10-task
+        graph).
+    volume:
+        Communication volume attached to every edge (one tile).
+    """
+    n = cholesky_task_count(b)
+    graph = TaskGraph(n, name=name if name is not None else f"cholesky_b{b}")
+
+    ids: dict[tuple, int] = {}
+    counter = 0
+
+    def task(key: tuple) -> int:
+        nonlocal counter
+        if key not in ids:
+            ids[key] = counter
+            counter += 1
+        return ids[key]
+
+    # Allocate ids in execution order (k-major) so the graph reads naturally.
+    for k in range(b):
+        task(("POTRF", k))
+        for i in range(k + 1, b):
+            task(("TRSM", k, i))
+        for i in range(k + 1, b):
+            for j in range(k + 1, i + 1):
+                task(("U", k, i, j))
+
+    for k in range(b):
+        potrf = task(("POTRF", k))
+        if k > 0:
+            graph.add_edge(task(("U", k - 1, k, k)), potrf, volume)
+        for i in range(k + 1, b):
+            trsm = task(("TRSM", k, i))
+            graph.add_edge(potrf, trsm, volume)
+            if k > 0:
+                graph.add_edge(task(("U", k - 1, i, k)), trsm, volume)
+        for i in range(k + 1, b):
+            for j in range(k + 1, i + 1):
+                upd = task(("U", k, i, j))
+                graph.add_edge(task(("TRSM", k, i)), upd, volume)
+                if j != i:
+                    graph.add_edge(task(("TRSM", k, j)), upd, volume)
+                if k > 0:
+                    graph.add_edge(task(("U", k - 1, i, j)), upd, volume)
+
+    assert counter == n, f"task count mismatch: allocated {counter}, expected {n}"
+    graph.validate()
+    return graph

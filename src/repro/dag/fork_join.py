@@ -1,0 +1,79 @@
+"""Fork, join and chain graph builders.
+
+These tiny families are used by unit tests and by the reproduction of the
+paper's Figure 9 discussion: a *join* graph of ``N + 1`` identical tasks
+(N independent tasks feeding one sink) scheduled four different ways shows
+that slack and robustness are independent axes.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskGraph
+
+__all__ = ["join_dag", "fork_dag", "chain_dag", "fork_join_dag"]
+
+
+def join_dag(n_branches: int, volume: float = 0.0, name: str | None = None) -> TaskGraph:
+    """``n_branches`` independent tasks all feeding one sink task.
+
+    Tasks ``0 … n_branches−1`` are the branches; task ``n_branches`` is the
+    sink (the paper's join graph of ``N + 1`` tasks).
+    """
+    if n_branches < 1:
+        raise ValueError(f"need ≥ 1 branch, got {n_branches}")
+    graph = TaskGraph(
+        n_branches + 1, name=name if name is not None else f"join_{n_branches}"
+    )
+    sink = n_branches
+    for i in range(n_branches):
+        graph.add_edge(i, sink, volume)
+    graph.validate()
+    return graph
+
+
+def fork_dag(n_branches: int, volume: float = 0.0, name: str | None = None) -> TaskGraph:
+    """One source task fanning out to ``n_branches`` independent tasks.
+
+    Task 0 is the source; tasks ``1 … n_branches`` are the branches.
+    """
+    if n_branches < 1:
+        raise ValueError(f"need ≥ 1 branch, got {n_branches}")
+    graph = TaskGraph(
+        n_branches + 1, name=name if name is not None else f"fork_{n_branches}"
+    )
+    for i in range(1, n_branches + 1):
+        graph.add_edge(0, i, volume)
+    graph.validate()
+    return graph
+
+
+def chain_dag(n_tasks: int, volume: float = 0.0, name: str | None = None) -> TaskGraph:
+    """A linear chain ``0 → 1 → … → n_tasks−1``."""
+    if n_tasks < 1:
+        raise ValueError(f"need ≥ 1 task, got {n_tasks}")
+    graph = TaskGraph(n_tasks, name=name if name is not None else f"chain_{n_tasks}")
+    for i in range(n_tasks - 1):
+        graph.add_edge(i, i + 1, volume)
+    graph.validate()
+    return graph
+
+
+def fork_join_dag(
+    n_branches: int, volume: float = 0.0, name: str | None = None
+) -> TaskGraph:
+    """Source → ``n_branches`` parallel tasks → sink (diamond for 2 branches).
+
+    Task 0 is the source, tasks ``1 … n_branches`` the branches, task
+    ``n_branches + 1`` the sink.
+    """
+    if n_branches < 1:
+        raise ValueError(f"need ≥ 1 branch, got {n_branches}")
+    graph = TaskGraph(
+        n_branches + 2, name=name if name is not None else f"forkjoin_{n_branches}"
+    )
+    sink = n_branches + 1
+    for i in range(1, n_branches + 1):
+        graph.add_edge(0, i, volume)
+        graph.add_edge(i, sink, volume)
+    graph.validate()
+    return graph

@@ -1,0 +1,70 @@
+"""Gaussian elimination task graph (Cosnard, Marrakchi, Robert & Trystram).
+
+The column-oriented Gaussian elimination of a ``b × b`` (block) matrix has,
+for each elimination step ``k = 1 … b−1``:
+
+* a pivot/preparation task ``T(k, k)`` — depends on the previous step's
+  update of column ``k``;
+* update tasks ``T(k, j)`` for each remaining column ``j = k+1 … b`` —
+  depend on ``T(k, k)`` and on the previous update ``T(k−1, j)`` of the same
+  column.
+
+Total task count ``(b−1) + b(b−1)/2 = (b−1)(b+2)/2``: ``b = 4`` gives 9
+(≈10), ``b = 7`` gives 27 (≈30), ``b = 13`` gives 90 and ``b = 14`` gives 104
+— the paper's "103 tasks" Gaussian elimination graph of Figure 5 is this
+graph family at ``b ≈ 14``.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskGraph
+
+__all__ = ["gaussian_elimination_dag", "ge_task_count"]
+
+
+def ge_task_count(b: int) -> int:
+    """Number of tasks of the GE DAG for ``b`` (block) columns."""
+    if b < 2:
+        raise ValueError(f"b must be ≥ 2, got {b}")
+    return (b - 1) * (b + 2) // 2
+
+
+def gaussian_elimination_dag(
+    b: int, volume: float = 2.0, name: str | None = None
+) -> TaskGraph:
+    """Build the Gaussian elimination DAG for ``b`` (block) columns.
+
+    Parameters
+    ----------
+    b:
+        Number of columns (``b = 14`` ≈ the paper's 103-task graph).
+    volume:
+        Communication volume attached to every edge (one column block).
+    """
+    n = ge_task_count(b)
+    graph = TaskGraph(n, name=name if name is not None else f"ge_b{b}")
+
+    ids: dict[tuple[int, int], int] = {}
+    counter = 0
+
+    def task(k: int, j: int) -> int:
+        nonlocal counter
+        key = (k, j)
+        if key not in ids:
+            ids[key] = counter
+            counter += 1
+        return ids[key]
+
+    for k in range(1, b):
+        pivot = task(k, k)
+        if k > 1:
+            graph.add_edge(task(k - 1, k), pivot, volume)
+        for j in range(k + 1, b + 1):
+            update = task(k, j)
+            graph.add_edge(pivot, update, volume)
+            if k > 1:
+                graph.add_edge(task(k - 1, j), update, volume)
+
+    assert counter == n, f"task count mismatch: allocated {counter}, expected {n}"
+    graph.validate()
+    return graph

@@ -1,0 +1,82 @@
+"""Tiled LU factorization task graph (no pivoting).
+
+A third real-application family beyond the paper's Cholesky and Gaussian
+elimination, commonly used in DAG-scheduling studies.  The right-looking
+tiled LU of a ``b × b`` tile matrix has, per panel ``k``:
+
+* ``GETRF(k)`` — factor the diagonal tile; depends on ``GEMM(k−1, k, k)``;
+* ``TRSM_R(k, j)`` for ``j > k`` — solve the U row block; depends on
+  ``GETRF(k)`` and ``GEMM(k−1, k, j)``;
+* ``TRSM_C(k, i)`` for ``i > k`` — solve the L column block; depends on
+  ``GETRF(k)`` and ``GEMM(k−1, i, k)``;
+* ``GEMM(k, i, j)`` for ``i, j > k`` — trailing update; depends on
+  ``TRSM_C(k, i)``, ``TRSM_R(k, j)`` and ``GEMM(k−1, i, j)``.
+
+Task count ``b + b(b−1) + (b−1)b(2b−1)/6``: b = 3 → 14, b = 4 → 30,
+b = 5 → 55, b = 7 → 140.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskGraph
+
+__all__ = ["lu_dag", "lu_task_count"]
+
+
+def lu_task_count(b: int) -> int:
+    """Number of tasks of the tiled LU DAG with ``b`` tile columns."""
+    if b < 1:
+        raise ValueError(f"b must be ≥ 1, got {b}")
+    return b + b * (b - 1) + (b - 1) * b * (2 * b - 1) // 6
+
+
+def lu_dag(b: int, volume: float = 2.0, name: str | None = None) -> TaskGraph:
+    """Build the tiled LU DAG for ``b`` tile columns."""
+    n = lu_task_count(b)
+    graph = TaskGraph(n, name=name if name is not None else f"lu_b{b}")
+
+    ids: dict[tuple, int] = {}
+    counter = 0
+
+    def task(key: tuple) -> int:
+        nonlocal counter
+        if key not in ids:
+            ids[key] = counter
+            counter += 1
+        return ids[key]
+
+    for k in range(b):
+        task(("GETRF", k))
+        for j in range(k + 1, b):
+            task(("TRSM_R", k, j))
+        for i in range(k + 1, b):
+            task(("TRSM_C", k, i))
+        for i in range(k + 1, b):
+            for j in range(k + 1, b):
+                task(("GEMM", k, i, j))
+
+    for k in range(b):
+        getrf = task(("GETRF", k))
+        if k > 0:
+            graph.add_edge(task(("GEMM", k - 1, k, k)), getrf, volume)
+        for j in range(k + 1, b):
+            trsm = task(("TRSM_R", k, j))
+            graph.add_edge(getrf, trsm, volume)
+            if k > 0:
+                graph.add_edge(task(("GEMM", k - 1, k, j)), trsm, volume)
+        for i in range(k + 1, b):
+            trsm = task(("TRSM_C", k, i))
+            graph.add_edge(getrf, trsm, volume)
+            if k > 0:
+                graph.add_edge(task(("GEMM", k - 1, i, k)), trsm, volume)
+        for i in range(k + 1, b):
+            for j in range(k + 1, b):
+                gemm = task(("GEMM", k, i, j))
+                graph.add_edge(task(("TRSM_C", k, i)), gemm, volume)
+                graph.add_edge(task(("TRSM_R", k, j)), gemm, volume)
+                if k > 0:
+                    graph.add_edge(task(("GEMM", k - 1, i, j)), gemm, volume)
+
+    assert counter == n, f"task count mismatch: allocated {counter}, expected {n}"
+    graph.validate()
+    return graph

@@ -1,0 +1,125 @@
+"""Structural and weighted properties of task graphs.
+
+Weighted levels follow the paper's definitions (§IV):
+
+* *top level* ``Tl(i)`` — length of the longest path from an entry task to
+  ``i``, **excluding** ``i``'s own duration;
+* *bottom level* ``Bl(i)`` — length of the longest path from ``i`` to an
+  exit task, **including** ``i``'s own duration.
+
+Path length sums task durations and edge communication times along the path.
+The deterministic critical-path makespan is ``max_i (Tl(i) + Bl(i))``.
+
+The functions below work on any object exposing the :class:`TaskGraph`
+adjacency interface (including disjunctive graphs), so the slack analysis can
+reuse them with schedule-dependent edges and durations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.dag.graph import TaskGraph
+
+__all__ = [
+    "graph_levels",
+    "top_levels",
+    "bottom_levels",
+    "critical_path",
+    "cp_length",
+]
+
+CommTime = Mapping[tuple[int, int], float] | Callable[[int, int], float]
+
+
+def _comm_lookup(comm: CommTime | None) -> Callable[[int, int], float]:
+    if comm is None:
+        return lambda u, v: 0.0
+    if callable(comm):
+        return comm
+    return lambda u, v: comm.get((u, v), 0.0)
+
+
+def graph_levels(graph: TaskGraph) -> np.ndarray:
+    """Structural level of each task (longest edge count from an entry)."""
+    levels = np.zeros(graph.n_tasks, dtype=int)
+    for v in graph.topological_order():
+        preds = graph.predecessors(int(v))
+        if preds:
+            levels[v] = 1 + max(levels[u] for u in preds)
+    return levels
+
+
+def top_levels(
+    graph: TaskGraph,
+    durations: Sequence[float] | np.ndarray,
+    comm: CommTime | None = None,
+) -> np.ndarray:
+    """Top level ``Tl(i)`` of every task (own duration excluded)."""
+    durations = np.asarray(durations, dtype=float)
+    if durations.shape != (graph.n_tasks,):
+        raise ValueError("durations must have one entry per task")
+    lookup = _comm_lookup(comm)
+    tl = np.zeros(graph.n_tasks, dtype=float)
+    for v in graph.topological_order():
+        v = int(v)
+        preds = graph.predecessors(v)
+        if preds:
+            tl[v] = max(tl[u] + durations[u] + lookup(u, v) for u in preds)
+    return tl
+
+
+def bottom_levels(
+    graph: TaskGraph,
+    durations: Sequence[float] | np.ndarray,
+    comm: CommTime | None = None,
+) -> np.ndarray:
+    """Bottom level ``Bl(i)`` of every task (own duration included)."""
+    durations = np.asarray(durations, dtype=float)
+    if durations.shape != (graph.n_tasks,):
+        raise ValueError("durations must have one entry per task")
+    lookup = _comm_lookup(comm)
+    bl = np.zeros(graph.n_tasks, dtype=float)
+    for v in graph.topological_order()[::-1]:
+        v = int(v)
+        succs = graph.successors(v)
+        tail = max((lookup(v, s) + bl[s] for s in succs), default=0.0)
+        bl[v] = durations[v] + tail
+    return bl
+
+
+def cp_length(
+    graph: TaskGraph,
+    durations: Sequence[float] | np.ndarray,
+    comm: CommTime | None = None,
+) -> float:
+    """Critical-path length ``max_i (Tl(i) + Bl(i))``."""
+    bl = bottom_levels(graph, durations, comm)
+    # The maximum of Bl over entry tasks equals max(Tl + Bl) over all tasks.
+    entries = graph.entry_tasks()
+    return float(max(bl[v] for v in entries))
+
+
+def critical_path(
+    graph: TaskGraph,
+    durations: Sequence[float] | np.ndarray,
+    comm: CommTime | None = None,
+) -> list[int]:
+    """One critical path (list of tasks) realizing :func:`cp_length`."""
+    durations = np.asarray(durations, dtype=float)
+    lookup = _comm_lookup(comm)
+    bl = bottom_levels(graph, durations, comm)
+    entries = graph.entry_tasks()
+    v = int(max(entries, key=lambda t: bl[t]))
+    path = [v]
+    while graph.successors(v):
+        v = int(
+            max(
+                graph.successors(v),
+                key=lambda s: lookup(path[-1], s) + bl[s],
+            )
+        )
+        path.append(v)
+    return path

@@ -1,0 +1,51 @@
+"""In-tree and out-tree generators.
+
+Trees are the structures on which the independence assumption is *exact*
+(no join shares history in an out-tree; an in-tree's joins merge disjoint
+subtrees), making them the reference fixtures for engine-accuracy tests.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskGraph
+
+__all__ = ["out_tree_dag", "in_tree_dag", "tree_task_count"]
+
+
+def tree_task_count(depth: int, branching: int) -> int:
+    """Number of nodes of a complete tree: (b^(d+1) − 1)/(b − 1)."""
+    if depth < 0:
+        raise ValueError(f"depth must be ≥ 0, got {depth}")
+    if branching < 1:
+        raise ValueError(f"branching must be ≥ 1, got {branching}")
+    if branching == 1:
+        return depth + 1
+    return (branching ** (depth + 1) - 1) // (branching - 1)
+
+
+def out_tree_dag(
+    depth: int, branching: int = 2, volume: float = 0.0, name: str | None = None
+) -> TaskGraph:
+    """Complete out-tree (root fans out): task 0 is the root/entry."""
+    n = tree_task_count(depth, branching)
+    graph = TaskGraph(
+        n, name=name if name is not None else f"outtree_d{depth}_b{branching}"
+    )
+    # Level-order numbering: children of node v are b·v+1 … b·v+b.
+    for v in range(n):
+        for c in range(branching * v + 1, branching * v + branching + 1):
+            if c < n:
+                graph.add_edge(v, c, volume)
+    graph.validate()
+    return graph
+
+
+def in_tree_dag(
+    depth: int, branching: int = 2, volume: float = 0.0, name: str | None = None
+) -> TaskGraph:
+    """Complete in-tree (leaves reduce to a root): task 0 is the exit."""
+    out = out_tree_dag(depth, branching, volume)
+    tree = out.reversed()
+    tree.name = f"intree_d{depth}_b{branching}" if name is None else name
+    tree.validate()
+    return tree

@@ -1,0 +1,108 @@
+"""The experiment case suite (paper §V).
+
+The paper generated 52 cases across graph families {random, Cholesky,
+Gaussian elimination}, sizes n ∈ {10, 30, 100, 1000} and uncertainty levels
+UL ∈ {1.01, 1.1}, with up to 10 instances per random size, then kept the 24
+cases with ≤ 100 nodes for the Figure 6 aggregation (1000-node cases being
+indicative only, since the independence assumption degrades there).
+
+:func:`default_suite` reproduces that 24-case panel:
+
+* random: n ∈ {10, 30, 100} × UL ∈ {1.01, 1.1} × 2 instances   → 12 cases
+* Cholesky: b ∈ {3, 5, 7} (10/35/84 tasks) × UL ∈ {1.01, 1.1}  →  6 cases
+* Gaussian elim.: b ∈ {4, 7, 13} (9/27/90 tasks) × UL          →  6 cases
+
+Processor counts follow the paper's figures: 3 for ≈10-task graphs, 8 for
+≈30, 16 for ≈100.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.platform.workload import (
+    Workload,
+    cholesky_workload,
+    ge_workload,
+    random_workload,
+)
+from repro.dag.cholesky import cholesky_task_count
+from repro.dag.gaussian_elim import ge_task_count
+
+__all__ = ["CaseSpec", "build_workload", "default_suite", "procs_for_size"]
+
+Kind = Literal["random", "cholesky", "ge"]
+
+
+def procs_for_size(n_tasks: int) -> int:
+    """Processor count used by the paper for a given graph size."""
+    if n_tasks <= 15:
+        return 3
+    if n_tasks <= 50:
+        return 8
+    return 16
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One experiment case: graph family + size + UL + instance seed."""
+
+    kind: Kind
+    param: int  # n_tasks for random, b for cholesky/ge
+    ul: float
+    instance: int = 0
+
+    @property
+    def n_tasks(self) -> int:
+        """Task count of this case's graph."""
+        if self.kind == "random":
+            return self.param
+        if self.kind == "cholesky":
+            return cholesky_task_count(self.param)
+        return ge_task_count(self.param)
+
+    @property
+    def m(self) -> int:
+        """Processor count of this case."""
+        return procs_for_size(self.n_tasks)
+
+    @property
+    def name(self) -> str:
+        """Readable case identifier."""
+        return f"{self.kind}_n{self.n_tasks}_m{self.m}_ul{self.ul:g}_i{self.instance}"
+
+    def seed(self, base_seed: int = 0) -> int:
+        """Deterministic per-case seed derived from a suite-level seed.
+
+        Uses CRC32 of the case name (not Python's ``hash``, which is salted
+        per process) so suites are reproducible across runs and machines.
+        """
+        return (zlib.crc32(self.name.encode()) ^ (base_seed * 0x9E3779B1)) % (2**31)
+
+
+def build_workload(spec: CaseSpec, base_seed: int = 0) -> Workload:
+    """Instantiate the workload of ``spec`` (deterministic per seed)."""
+    seed = spec.seed(base_seed)
+    if spec.kind == "random":
+        return random_workload(spec.param, spec.m, rng=seed)
+    if spec.kind == "cholesky":
+        return cholesky_workload(spec.param, spec.m, rng=seed)
+    if spec.kind == "ge":
+        return ge_workload(spec.param, spec.m, rng=seed)
+    raise ValueError(f"unknown case kind {spec.kind!r}")
+
+
+def default_suite(uls: tuple[float, ...] = (1.01, 1.1)) -> list[CaseSpec]:
+    """The paper's 24-case (≤100 nodes) suite."""
+    cases: list[CaseSpec] = []
+    for ul in uls:
+        for n in (10, 30, 100):
+            for instance in (0, 1):
+                cases.append(CaseSpec("random", n, ul, instance))
+        for b in (3, 5, 7):
+            cases.append(CaseSpec("cholesky", b, ul))
+        for b in (4, 7, 13):
+            cases.append(CaseSpec("ge", b, ul))
+    return cases

@@ -1,0 +1,96 @@
+"""Command-line entry point: ``repro-experiments <figure> [--scale …]``.
+
+Runs any figure of the paper (or the whole set) and prints the text report.
+Example::
+
+    repro-experiments fig6 --scale default
+    REPRO_SCALE=paper repro-experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import fig1_precision, fig2_visual, fig6_aggregate, fig78_clt
+from repro.experiments import fig345_panels, fig9_slack_quadrants
+from repro.experiments.scale import get_scale
+
+__all__ = ["main"]
+
+
+def _runners() -> dict[str, Callable[[object], object]]:
+    return {
+        "fig1": fig1_precision.run,
+        "fig2": fig2_visual.run,
+        "fig3": fig345_panels.run_fig3,
+        "fig4": fig345_panels.run_fig4,
+        "fig5": fig345_panels.run_fig5,
+        "fig6": fig6_aggregate.run,
+        "fig7": fig78_clt.run_fig7,
+        "fig8": fig78_clt.run_fig8,
+        "fig9": fig9_slack_quadrants.run,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    runners = _runners()
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the figures of Canon & Jeannot (2007).",
+    )
+    parser.add_argument(
+        "figure",
+        choices=[*runners.keys(), "all"],
+        help="figure to reproduce, or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=["quick", "default", "paper"],
+        help="population scale (default: env REPRO_SCALE or 'quick')",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="also append the rendered reports to this file",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=pathlib.Path,
+        default=None,
+        help="dump metric-panel CSVs here (panel figures: fig3/fig4/fig5)",
+    )
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+
+    chunks: list[str] = []
+    names = list(runners) if args.figure == "all" else [args.figure]
+    for name in names:
+        t0 = time.perf_counter()
+        result = runners[name](scale)
+        elapsed = time.perf_counter() - t0
+        text = result.render()
+        print(text)
+        print(f"[{name} done in {elapsed:.1f}s at scale={scale.name}]")
+        print()
+        chunks.append(text + "\n")
+        if args.csv_dir is not None and hasattr(result, "case"):
+            args.csv_dir.mkdir(parents=True, exist_ok=True)
+            path = args.csv_dir / f"{name}_panel.csv"
+            path.write_text(result.case.panel.to_csv())
+            print(f"[wrote {path}]")
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        with args.output.open("a") as fh:
+            fh.write("\n".join(chunks))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

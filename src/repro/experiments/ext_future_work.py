@@ -1,0 +1,159 @@
+"""Extension experiments for the paper's future-work section (§VIII).
+
+Two of the paper's open questions are directly testable with this library:
+
+* **Pareto-front correlations** — "Our results are indeed obtained with
+  random schedules which only give an indication of correlation between the
+  metrics.  However, at some point (for low makespan schedules) there could
+  be some trade-off to find."  :func:`run_pareto` measures the E(M)–σ_M
+  Pearson correlation over the whole random population and over its
+  best-makespan decile, and extracts the Pareto-optimal schedules.
+
+* **Variable uncertainty levels** — "if we do not take a constant UL for a
+  given graph (which will break the equivalence between task duration mean
+  and standard deviation), we believe that the makespan could be a
+  misleading criteria."  :func:`run_variable_ul` draws a per-task UL from
+  {low, high} and compares the makespan↔σ_M correlation against the
+  fixed-UL baseline: under variable UL the correlation collapses, confirming
+  the conjecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.montecarlo import sample_makespans
+from repro.core.correlation import pearson
+from repro.experiments.scale import Scale, get_scale
+from repro.platform.workload import random_workload
+from repro.schedule.random_schedule import random_schedules
+from repro.stochastic.model import StochasticModel
+from repro.util.rng import as_generator
+from repro.util.tables import format_table
+
+__all__ = ["ParetoResult", "VariableUlResult", "run_pareto", "run_variable_ul"]
+
+
+@dataclass(frozen=True)
+class ParetoResult:
+    """Population vs best-decile vs Pareto-front correlation."""
+
+    makespans: np.ndarray
+    stds: np.ndarray
+    corr_all: float
+    corr_best_decile: float
+    pareto_indices: tuple[int, ...]
+
+    def render(self) -> str:
+        """Report the correlations and the Pareto-optimal points."""
+        rows = [
+            (int(i), float(self.makespans[i]), float(self.stds[i]))
+            for i in self.pareto_indices
+        ]
+        return (
+            "Ext. — Pareto-front study (paper §VIII, random population):\n"
+            f"corr(E(M), σ_M) over all schedules:      {self.corr_all:+.3f}\n"
+            f"corr(E(M), σ_M) over best-E(M) decile:   {self.corr_best_decile:+.3f}\n"
+            f"Pareto-optimal schedules (E(M) vs σ_M): {len(self.pareto_indices)}\n"
+            + format_table(["schedule", "E(M)", "σ_M"], rows)
+        )
+
+
+@dataclass(frozen=True)
+class VariableUlResult:
+    """Fixed-UL vs variable-UL makespan↔robustness correlation."""
+
+    corr_fixed: float
+    corr_variable: float
+    ul_low: float
+    ul_high: float
+
+    def render(self) -> str:
+        """Report the correlation collapse under variable UL."""
+        return (
+            "Ext. — variable uncertainty level (paper §VIII conjecture):\n"
+            f"corr(E(M), σ_M) with fixed UL = {self.ul_high:g}:          "
+            f"{self.corr_fixed:+.3f}\n"
+            f"corr(E(M), σ_M) with per-task UL ∈ {{{self.ul_low:g}, {self.ul_high:g}}}: "
+            f"{self.corr_variable:+.3f}\n"
+            "→ variable UL breaks the mean↔σ proportionality, so makespan\n"
+            "  becomes a misleading robustness criterion, as conjectured."
+        )
+
+
+def run_pareto(
+    scale: Scale | str | None = None,
+    n_tasks: int = 20,
+    m: int = 4,
+    seed: int = 20070915,
+) -> ParetoResult:
+    """E(M)–σ_M correlation across the population vs near the Pareto front."""
+    scale = get_scale(scale)
+    model = StochasticModel(ul=1.1, grid_n=scale.grid_n)
+    workload = random_workload(n_tasks, m, rng=seed)
+    n_schedules = max(scale.n_random(n_tasks), 50)
+    rng = as_generator(seed + 1)
+    makespans, stds = [], []
+    for schedule in random_schedules(workload, n_schedules, rng):
+        samples = sample_makespans(schedule, model, rng, n_realizations=2_000)
+        makespans.append(float(samples.mean()))
+        stds.append(float(samples.std()))
+    ms = np.asarray(makespans)
+    sd = np.asarray(stds)
+
+    corr_all = pearson(ms, sd)
+    decile = ms <= np.percentile(ms, 10)
+    corr_best = pearson(ms[decile], sd[decile])
+
+    order = np.argsort(ms)
+    pareto: list[int] = []
+    best_sd = np.inf
+    for i in order:
+        if sd[i] < best_sd - 1e-12:
+            pareto.append(int(i))
+            best_sd = sd[i]
+    return ParetoResult(
+        makespans=ms,
+        stds=sd,
+        corr_all=corr_all,
+        corr_best_decile=corr_best,
+        pareto_indices=tuple(pareto),
+    )
+
+
+def run_variable_ul(
+    scale: Scale | str | None = None,
+    n_tasks: int = 20,
+    m: int = 4,
+    ul_low: float = 1.01,
+    ul_high: float = 1.6,
+    seed: int = 20070916,
+) -> VariableUlResult:
+    """Fixed-UL vs per-task-UL correlation between E(M) and σ_M."""
+    scale = get_scale(scale)
+    model = StochasticModel(ul=ul_high, grid_n=scale.grid_n)
+    workload = random_workload(n_tasks, m, rng=seed)
+    rng = as_generator(seed + 1)
+    # One fixed per-task UL assignment shared by all schedules: most tasks
+    # almost deterministic, a minority very noisy — the configuration that
+    # decouples a schedule's length from its exposure to uncertainty.
+    task_ul = np.where(rng.random(n_tasks) < 0.75, ul_low, ul_high)
+    n_schedules = max(scale.n_random(n_tasks), 50)
+    ms_f, sd_f, ms_v, sd_v = [], [], [], []
+    for schedule in random_schedules(workload, n_schedules, rng):
+        fixed = sample_makespans(schedule, model, rng, n_realizations=2_000)
+        variable = sample_makespans(
+            schedule, model, rng, n_realizations=2_000, task_ul=task_ul
+        )
+        ms_f.append(float(fixed.mean()))
+        sd_f.append(float(fixed.std()))
+        ms_v.append(float(variable.mean()))
+        sd_v.append(float(variable.std()))
+    return VariableUlResult(
+        corr_fixed=pearson(np.asarray(ms_f), np.asarray(sd_f)),
+        corr_variable=pearson(np.asarray(ms_v), np.asarray(sd_v)),
+        ul_low=ul_low,
+        ul_high=ul_high,
+    )

@@ -1,0 +1,89 @@
+"""Figure 1 — precision of the independence assumption vs graph size.
+
+For each graph size the paper measures the Kolmogorov–Smirnov and
+Cramér–von-Mises(area) distances between the analytic makespan CDF (the
+classical independence-assumption evaluation) and the empirical CDF of
+100 000 Monte-Carlo realizations, at UL = 1.1, averaged over schedules.
+Both errors grow with graph size — the reason the paper restricts its panel
+suite to ≤ 100-node graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.classical import classical_makespan
+from repro.analysis.distance import cm_distance, ks_distance
+from repro.analysis.montecarlo import sample_makespans
+from repro.experiments.scale import Scale, get_scale
+from repro.platform.workload import random_workload
+from repro.schedule.random_schedule import random_schedule
+from repro.stochastic.model import StochasticModel
+from repro.util.rng import spawn_generators
+from repro.util.tables import format_table
+
+__all__ = ["Fig1Result", "run"]
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Rows of (graph size, mean KS, mean CM)."""
+
+    sizes: tuple[int, ...]
+    ks: tuple[float, ...]
+    cm: tuple[float, ...]
+    ul: float
+    n_realizations: int
+
+    def render(self) -> str:
+        """Figure 1 as a text table."""
+        header = (
+            f"Fig. 1 — precision of the independence assumption "
+            f"(UL={self.ul:g}, {self.n_realizations} realizations)"
+        )
+        rows = [
+            (n, ks, cm) for n, ks, cm in zip(self.sizes, self.ks, self.cm)
+        ]
+        return header + "\n" + format_table(["graph size", "KS", "CM"], rows)
+
+
+def run(
+    scale: Scale | str | None = None,
+    ul: float = 1.1,
+    schedules_per_size: int = 3,
+    seed: int = 20070910,
+) -> Fig1Result:
+    """Reproduce Figure 1 at the given scale."""
+    scale = get_scale(scale)
+    model = StochasticModel(ul=ul, grid_n=scale.grid_n)
+    ks_out: list[float] = []
+    cm_out: list[float] = []
+    rngs = spawn_generators(seed, len(scale.fig1_sizes))
+    for size, rng in zip(scale.fig1_sizes, rngs):
+        ks_vals, cm_vals = [], []
+        for _ in range(schedules_per_size):
+            workload = random_workload(size, _procs(size), rng=rng)
+            schedule = random_schedule(workload, rng)
+            analytic = classical_makespan(schedule, model)
+            mc = sample_makespans(
+                schedule, model, rng, n_realizations=scale.mc_realizations
+            )
+            ks_vals.append(ks_distance(analytic, mc))
+            cm_vals.append(cm_distance(analytic, mc))
+        ks_out.append(float(np.mean(ks_vals)))
+        cm_out.append(float(np.mean(cm_vals)))
+    return Fig1Result(
+        sizes=tuple(scale.fig1_sizes),
+        ks=tuple(ks_out),
+        cm=tuple(cm_out),
+        ul=ul,
+        n_realizations=scale.mc_realizations,
+    )
+
+
+def _procs(n_tasks: int) -> int:
+    from repro.experiments.cases import procs_for_size
+
+    return procs_for_size(n_tasks)

@@ -1,0 +1,103 @@
+"""Figures 3–5 — the per-case metric-correlation panels.
+
+Each figure is one case: thousands of random schedules plus the three
+heuristics (HEFT, BIL, Hyb.BMCT), all eight metrics per schedule, rendered
+as an 8×8 Pearson matrix (the paper's upper triangle) plus the heuristics'
+metric rows (the highlighted points of the paper's scatter plots):
+
+* Figure 3 — Cholesky, 10 tasks, 3 processors, UL = 1.01;
+* Figure 4 — random graph, 30 tasks, 8 processors, UL = 1.01;
+* Figure 5 — Gaussian elimination, ≈103 tasks, 16 processors, UL = 1.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.correlation import pearson
+from repro.core.study import CaseResult, evaluate_case
+from repro.experiments.cases import CaseSpec, build_workload
+from repro.experiments.scale import Scale, get_scale
+from repro.stochastic.model import StochasticModel
+from repro.util.tables import format_matrix
+from repro.core.metrics import METRIC_NAMES
+
+__all__ = ["PanelResult", "run_fig3", "run_fig4", "run_fig5", "run_panel"]
+
+FIG3_SPEC = CaseSpec("cholesky", 3, 1.01)
+FIG4_SPEC = CaseSpec("random", 30, 1.01)
+FIG5_SPEC = CaseSpec("ge", 14, 1.1)
+
+
+@dataclass(frozen=True)
+class PanelResult:
+    """One panel: case result + the derived §VII correlation."""
+
+    figure: str
+    spec: CaseSpec
+    case: CaseResult
+    rel_prob_over_m_vs_std: float
+
+    def render(self) -> str:
+        """Pearson matrix + heuristic rows, as text."""
+        lines = [
+            f"{self.figure} — {self.spec.name}: "
+            f"{self.case.panel.n_schedules - len(self.case.heuristic_metrics)} random schedules "
+            f"+ {sorted(self.case.heuristic_metrics)}",
+            "",
+            "Pearson coefficients (oriented metrics, random schedules):",
+            format_matrix(self.case.pearson, list(METRIC_NAMES)),
+            "",
+            f"corr( R(γ)/E(M), σ_M ) = {self.rel_prob_over_m_vs_std:+.3f}   (paper §VII: ≈ ±0.998)",
+            "",
+            "Heuristic rows (raw metric values):",
+            self.case.panel.rows_table(only_labeled=True),
+        ]
+        return "\n".join(lines)
+
+
+def run_panel(
+    figure: str,
+    spec: CaseSpec,
+    scale: Scale | str | None = None,
+    seed: int = 20070912,
+) -> PanelResult:
+    """Evaluate one panel case at the given scale."""
+    scale = get_scale(scale)
+    workload = build_workload(spec, base_seed=seed)
+    model = StochasticModel(ul=spec.ul, grid_n=scale.grid_n)
+    n_random = scale.n_random(spec.n_tasks)
+    case = evaluate_case(
+        workload,
+        model,
+        n_random=n_random,
+        rng=spec.seed(seed) + 1,
+        name=spec.name,
+    )
+    # §VII: R(γ)/E(M) against σ_M over the random schedules only.
+    k = n_random
+    rel_over_m = case.panel.oriented_rel_prob_over_makespan()[:k]
+    std = case.panel.column("makespan_std")[:k]
+    return PanelResult(
+        figure=figure,
+        spec=spec,
+        case=case,
+        rel_prob_over_m_vs_std=pearson(rel_over_m, std),
+    )
+
+
+def run_fig3(scale: Scale | str | None = None, seed: int = 20070912) -> PanelResult:
+    """Figure 3 panel (Cholesky 10 tasks / 3 procs / UL 1.01)."""
+    return run_panel("Fig. 3", FIG3_SPEC, scale, seed)
+
+
+def run_fig4(scale: Scale | str | None = None, seed: int = 20070912) -> PanelResult:
+    """Figure 4 panel (random 30 tasks / 8 procs / UL 1.01)."""
+    return run_panel("Fig. 4", FIG4_SPEC, scale, seed)
+
+
+def run_fig5(scale: Scale | str | None = None, seed: int = 20070912) -> PanelResult:
+    """Figure 5 panel (Gaussian elimination ≈103 tasks / 16 procs / UL 1.1)."""
+    return run_panel("Fig. 5", FIG5_SPEC, scale, seed)

@@ -1,0 +1,30 @@
+"""Serialization and export: JSON round-trips and Graphviz/trace rendering.
+
+Workloads and schedules are the expensive artifacts of an experiment
+campaign; :mod:`repro.io` persists them as plain JSON so runs can be
+archived, diffed and re-analyzed without re-generation, and exports task
+graphs / schedules to human tools (Graphviz DOT, CSV traces).
+"""
+
+from repro.io.json_io import (
+    schedule_from_json,
+    schedule_to_json,
+    taskgraph_from_json,
+    taskgraph_to_json,
+    workload_from_json,
+    workload_to_json,
+)
+from repro.io.dot import disjunctive_to_dot, taskgraph_to_dot
+from repro.io.trace import schedule_trace_csv
+
+__all__ = [
+    "taskgraph_to_json",
+    "taskgraph_from_json",
+    "workload_to_json",
+    "workload_from_json",
+    "schedule_to_json",
+    "schedule_from_json",
+    "taskgraph_to_dot",
+    "disjunctive_to_dot",
+    "schedule_trace_csv",
+]

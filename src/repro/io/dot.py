@@ -1,0 +1,58 @@
+"""Graphviz DOT export of task graphs and scheduled disjunctive graphs."""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskGraph
+from repro.schedule.schedule import Schedule
+
+__all__ = ["taskgraph_to_dot", "disjunctive_to_dot"]
+
+#: Color cycle for processors in the disjunctive rendering.
+_COLORS = (
+    "lightblue", "lightgreen", "lightsalmon", "khaki",
+    "plum", "lightcyan", "wheat", "mistyrose",
+)
+
+
+def taskgraph_to_dot(graph: TaskGraph, show_volumes: bool = True) -> str:
+    """Render a task graph as a Graphviz digraph.
+
+    Edge labels carry communication volumes when ``show_volumes`` is set.
+    """
+    lines = [f'digraph "{graph.name or "taskgraph"}" {{', "  rankdir=TB;"]
+    for v in range(graph.n_tasks):
+        lines.append(f'  {v} [shape=circle];')
+    for u, v, vol in sorted(graph.edges()):
+        if show_volumes and vol:
+            lines.append(f'  {u} -> {v} [label="{vol:g}"];')
+        else:
+            lines.append(f"  {u} -> {v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def disjunctive_to_dot(schedule: Schedule) -> str:
+    """Render a schedule's disjunctive graph.
+
+    Application edges are solid, same-processor chaining edges dashed;
+    nodes are colored by processor and labeled ``task@proc [start,finish]``.
+    """
+    graph = schedule.workload.graph
+    lines = [
+        f'digraph "{graph.name or "schedule"}" {{',
+        "  rankdir=TB;",
+        "  node [style=filled];",
+    ]
+    for v in range(graph.n_tasks):
+        p = int(schedule.proc[v])
+        color = _COLORS[p % len(_COLORS)]
+        label = f"{v}@P{p}\\n[{schedule.start[v]:.1f}, {schedule.finish[v]:.1f}]"
+        lines.append(f'  {v} [label="{label}", fillcolor={color}];')
+    for u, v, vol in sorted(graph.edges()):
+        lines.append(f"  {u} -> {v};")
+    for order in schedule.orders:
+        for a, b in zip(order, order[1:]):
+            if not graph.has_edge(a, b):
+                lines.append(f"  {a} -> {b} [style=dashed, constraint=false];")
+    lines.append("}")
+    return "\n".join(lines)

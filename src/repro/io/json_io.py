@@ -1,0 +1,127 @@
+"""JSON round-trips for task graphs, workloads and schedules.
+
+The format is versioned and minimal: enough to reconstruct the object
+bit-exactly (graphs: edges + volumes; workloads: + platform matrices + cost
+matrix; schedules: + assignment and per-processor orders — start/finish
+times are *recomputed* by the eager replay on load, which doubles as an
+integrity check).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.dag.graph import TaskGraph
+from repro.platform.platform import Platform
+from repro.platform.workload import Workload
+from repro.schedule.schedule import Schedule
+
+__all__ = [
+    "taskgraph_to_json",
+    "taskgraph_from_json",
+    "workload_to_json",
+    "workload_from_json",
+    "schedule_to_json",
+    "schedule_from_json",
+]
+
+_FORMAT = "repro-v1"
+
+
+def taskgraph_to_json(graph: TaskGraph) -> str:
+    """Serialize a task graph (structure + volumes) to JSON."""
+    payload = {
+        "format": _FORMAT,
+        "kind": "taskgraph",
+        "name": graph.name,
+        "n_tasks": graph.n_tasks,
+        "edges": [[u, v, vol] for u, v, vol in sorted(graph.edges())],
+    }
+    return json.dumps(payload)
+
+
+def taskgraph_from_json(text: str) -> TaskGraph:
+    """Inverse of :func:`taskgraph_to_json`."""
+    payload = _load(text, "taskgraph")
+    graph = TaskGraph(
+        int(payload["n_tasks"]),
+        ((int(u), int(v), float(vol)) for u, v, vol in payload["edges"]),
+        name=str(payload.get("name", "")),
+    )
+    graph.validate()
+    return graph
+
+
+def workload_to_json(workload: Workload) -> str:
+    """Serialize a workload (graph + platform + cost matrix) to JSON."""
+    payload = {
+        "format": _FORMAT,
+        "kind": "workload",
+        "graph": json.loads(taskgraph_to_json(workload.graph)),
+        "tau": workload.platform.tau.tolist(),
+        "latency": workload.platform.latency.tolist(),
+        "comp": workload.comp.tolist(),
+    }
+    return json.dumps(payload)
+
+
+def workload_from_json(text: str) -> Workload:
+    """Inverse of :func:`workload_to_json`."""
+    payload = _load(text, "workload")
+    graph = taskgraph_from_json(json.dumps(payload["graph"]))
+    platform = Platform(
+        np.asarray(payload["tau"], dtype=float),
+        np.asarray(payload["latency"], dtype=float),
+    )
+    return Workload(graph, platform, np.asarray(payload["comp"], dtype=float))
+
+
+def schedule_to_json(schedule: Schedule, embed_workload: bool = True) -> str:
+    """Serialize a schedule; optionally embed its workload.
+
+    Without ``embed_workload`` the consumer must supply the workload at
+    load time (useful when archiving thousands of schedules of one case).
+    """
+    payload: dict[str, Any] = {
+        "format": _FORMAT,
+        "kind": "schedule",
+        "label": schedule.label,
+        "proc": schedule.proc.tolist(),
+        "orders": [list(order) for order in schedule.orders],
+    }
+    if embed_workload:
+        payload["workload"] = json.loads(workload_to_json(schedule.workload))
+    return json.dumps(payload)
+
+
+def schedule_from_json(text: str, workload: Workload | None = None) -> Schedule:
+    """Inverse of :func:`schedule_to_json`.
+
+    Start/finish times are recomputed by eager replay; a corrupted
+    assignment or order therefore fails loudly instead of loading silently.
+    """
+    payload = _load(text, "schedule")
+    if workload is None:
+        if "workload" not in payload:
+            raise ValueError(
+                "schedule JSON has no embedded workload; pass `workload=`"
+            )
+        workload = workload_from_json(json.dumps(payload["workload"]))
+    return Schedule.from_proc_orders(
+        workload,
+        np.asarray(payload["proc"], dtype=np.intp),
+        [tuple(int(t) for t in order) for order in payload["orders"]],
+        label=str(payload.get("label", "")),
+    )
+
+
+def _load(text: str, kind: str) -> dict:
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise ValueError(f"not a {_FORMAT} document")
+    if payload.get("kind") != kind:
+        raise ValueError(f"expected kind={kind!r}, got {payload.get('kind')!r}")
+    return payload

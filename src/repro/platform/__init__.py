@@ -1,0 +1,41 @@
+"""Heterogeneous target platforms and workloads.
+
+The paper's platform model (§II):
+
+* ``m`` machines, *unrelated* computation model — an ``n × m`` matrix of
+  minimum task durations;
+* communication matrices ``τ`` (time per data element between each processor
+  pair) and ``L`` (latency), with zero diagonals so same-processor
+  communication is free;
+* the communication time of edge ``(u, v)`` placed on processors ``(p, q)``
+  is ``L[p,q] + c_uv · τ[p,q]``.
+
+A :class:`Workload` binds a task graph, a platform and a cost matrix, and is
+the unit every scheduler and analysis engine operates on.  Cost matrices are
+generated either with the CV-based Gamma method of Ali et al. (random
+graphs) or the paper's real-application recipe (uniform
+``[minVal, 2·minVal]`` rows).
+"""
+
+from repro.platform.platform import Platform
+from repro.platform.heterogeneity import cv_gamma_costs, uniform_costs
+from repro.platform.workload import (
+    Workload,
+    cholesky_workload,
+    ge_workload,
+    lu_workload,
+    random_workload,
+    workload_for_graph,
+)
+
+__all__ = [
+    "Platform",
+    "cv_gamma_costs",
+    "uniform_costs",
+    "Workload",
+    "random_workload",
+    "cholesky_workload",
+    "ge_workload",
+    "lu_workload",
+    "workload_for_graph",
+]

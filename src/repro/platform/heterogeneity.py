@@ -1,0 +1,82 @@
+"""Unrelated-machine cost matrices.
+
+Two generators, both from the paper's §V:
+
+* :func:`cv_gamma_costs` — the *coefficient-of-variation based* method of
+  Ali, Siegel, Maheswaran, Hensgen & Ali (2000), used for the random graphs:
+  each task draws a mean cost from a Gamma distribution with mean ``µ_task``
+  and CV ``V_task``, then each machine's cost for that task is drawn from a
+  Gamma with that mean and CV ``V_mach``.  The paper uses
+  ``µ_task = 20, V_task = V_mach = 0.5``.
+* :func:`uniform_costs` — the real-application recipe: each task's minimum
+  duration ``minVal`` is "chosen randomly" and its per-machine cost is
+  uniform on ``[minVal, 2·minVal]`` (a low degree of unrelatedness, which is
+  why the paper notes the heuristics behave consistently).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import as_generator
+
+__all__ = ["cv_gamma_costs", "uniform_costs"]
+
+
+def cv_gamma_costs(
+    n_tasks: int,
+    m: int,
+    rng: int | None | np.random.Generator = None,
+    mu_task: float = 20.0,
+    v_task: float = 0.5,
+    v_mach: float = 0.5,
+) -> np.ndarray:
+    """CV-based Gamma cost matrix (Ali et al. 2000), shape ``(n_tasks, m)``.
+
+    ``v_task`` controls how different tasks are from each other; ``v_mach``
+    controls machine heterogeneity (unrelatedness).  Either may be 0 for a
+    degenerate (deterministic) axis.
+    """
+    if n_tasks < 1 or m < 1:
+        raise ValueError("need at least one task and one machine")
+    if mu_task <= 0:
+        raise ValueError(f"mu_task must be positive, got {mu_task}")
+    if v_task < 0 or v_mach < 0:
+        raise ValueError("coefficients of variation must be ≥ 0")
+    gen = as_generator(rng)
+    if v_task == 0:
+        task_means = np.full(n_tasks, mu_task)
+    else:
+        shape_t = 1.0 / (v_task * v_task)
+        scale_t = mu_task * v_task * v_task
+        task_means = gen.gamma(shape_t, scale_t, size=n_tasks)
+    task_means = np.maximum(task_means, 1e-9)
+    if v_mach == 0:
+        return np.repeat(task_means[:, None], m, axis=1)
+    shape_m = 1.0 / (v_mach * v_mach)
+    # Gamma scale is per-task: scale = mean · v², drawn independently per machine.
+    scales = task_means * (v_mach * v_mach)
+    costs = gen.gamma(shape_m, 1.0, size=(n_tasks, m)) * scales[:, None]
+    return np.maximum(costs, 1e-9)
+
+
+def uniform_costs(
+    n_tasks: int,
+    m: int,
+    rng: int | None | np.random.Generator = None,
+    min_lo: float = 10.0,
+    min_hi: float = 20.0,
+) -> np.ndarray:
+    """Real-application cost matrix: rows uniform on ``[minVal, 2·minVal]``.
+
+    ``minVal`` is drawn per task, uniform on ``[min_lo, min_hi]`` (the paper
+    only says "chosen randomly"; the default range keeps computation and
+    communication weights on the same order, as §V requires).
+    """
+    if n_tasks < 1 or m < 1:
+        raise ValueError("need at least one task and one machine")
+    if not 0 < min_lo <= min_hi:
+        raise ValueError(f"invalid minVal range [{min_lo}, {min_hi}]")
+    gen = as_generator(rng)
+    min_vals = gen.uniform(min_lo, min_hi, size=n_tasks)
+    return gen.uniform(min_vals[:, None], 2.0 * min_vals[:, None], size=(n_tasks, m))

@@ -1,0 +1,125 @@
+"""The target platform: communication rate and latency matrices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import as_generator
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """``m`` heterogeneous machines connected by a complete network.
+
+    Attributes
+    ----------
+    tau:
+        ``(m, m)`` matrix; ``tau[p, q]`` is the time to send one data element
+        from processor ``p`` to ``q``.  The diagonal is zero (same-processor
+        communication is free).
+    latency:
+        ``(m, m)`` matrix of per-message latencies, zero diagonal.  The paper
+        found latency's influence negligible and dropped it; the default
+        platform builders therefore use zero latency, but the model keeps it
+        so the full formula ``L + c·τ`` remains available.
+    """
+
+    tau: np.ndarray
+    latency: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        tau = np.asarray(self.tau, dtype=float)
+        object.__setattr__(self, "tau", tau)
+        if self.latency is None:
+            object.__setattr__(self, "latency", np.zeros_like(tau))
+        else:
+            object.__setattr__(self, "latency", np.asarray(self.latency, dtype=float))
+        self.validate()
+
+    @property
+    def m(self) -> int:
+        """Number of machines."""
+        return self.tau.shape[0]
+
+    def validate(self) -> None:
+        """Check shapes, zero diagonals and non-negativity."""
+        tau, lat = self.tau, self.latency
+        if tau.ndim != 2 or tau.shape[0] != tau.shape[1]:
+            raise ValueError(f"tau must be square, got shape {tau.shape}")
+        if lat.shape != tau.shape:
+            raise ValueError("latency must have the same shape as tau")
+        if tau.shape[0] < 1:
+            raise ValueError("platform needs at least one machine")
+        for name, mat in (("tau", tau), ("latency", lat)):
+            if not np.all(np.isfinite(mat)) or np.any(mat < 0):
+                raise ValueError(f"{name} must be finite and non-negative")
+            if np.any(np.diagonal(mat) != 0):
+                raise ValueError(f"{name} must have a zero diagonal")
+
+    def comm_time(self, volume: float, p: int, q: int) -> float:
+        """Minimum communication time of ``volume`` elements from ``p`` to ``q``."""
+        if p == q:
+            return 0.0
+        return float(self.latency[p, q] + volume * self.tau[p, q])
+
+    def mean_tau(self) -> float:
+        """Average rate over distinct processor pairs (0 for one machine)."""
+        m = self.m
+        if m < 2:
+            return 0.0
+        off_diag = self.tau.sum() / (m * (m - 1))
+        return float(off_diag)
+
+    def mean_latency(self) -> float:
+        """Average latency over distinct processor pairs."""
+        m = self.m
+        if m < 2:
+            return 0.0
+        return float(self.latency.sum() / (m * (m - 1)))
+
+    # ------------------------------------------------------------------ #
+    # factories
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def uniform(cls, m: int, tau: float = 1.0, latency: float = 0.0) -> "Platform":
+        """Homogeneous network: every distinct pair has the same τ and L.
+
+        This matches the paper's real-application setting where "only the
+        weight of communications is considered (not the bandwidth)".
+        """
+        if m < 1:
+            raise ValueError(f"need at least one machine, got {m}")
+        t = np.full((m, m), float(tau))
+        np.fill_diagonal(t, 0.0)
+        l = np.full((m, m), float(latency))
+        np.fill_diagonal(l, 0.0)
+        return cls(t, l)
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        m: int,
+        rng: int | None | np.random.Generator = None,
+        tau_mean: float = 1.0,
+        tau_spread: float = 0.5,
+        latency: float = 0.0,
+    ) -> "Platform":
+        """Random network: τ entries uniform in ``tau_mean · [1−s, 1+s]``.
+
+        ``tau_spread`` must lie in ``[0, 1)``; the matrix is kept symmetric
+        (links are bidirectional with equal speed).
+        """
+        if not 0.0 <= tau_spread < 1.0:
+            raise ValueError(f"tau_spread must be in [0, 1), got {tau_spread}")
+        gen = as_generator(rng)
+        t = tau_mean * (1.0 + tau_spread * (2.0 * gen.random((m, m)) - 1.0))
+        t = 0.5 * (t + t.T)
+        np.fill_diagonal(t, 0.0)
+        l = np.full((m, m), float(latency))
+        np.fill_diagonal(l, 0.0)
+        return cls(t, l)

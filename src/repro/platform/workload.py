@@ -1,0 +1,187 @@
+"""Workloads: a task graph bound to a platform and a cost matrix.
+
+A :class:`Workload` is the unit every scheduler and makespan-analysis engine
+operates on.  It holds the *deterministic minimum* durations; uncertainty is
+applied on top by a :class:`repro.stochastic.StochasticModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.cholesky import cholesky_dag
+from repro.dag.gaussian_elim import gaussian_elimination_dag
+from repro.dag.graph import TaskGraph
+from repro.dag.random_dag import random_dag
+from repro.platform.heterogeneity import cv_gamma_costs, uniform_costs
+from repro.platform.platform import Platform
+from repro.util.rng import as_generator, spawn_generators
+
+__all__ = [
+    "Workload",
+    "random_workload",
+    "cholesky_workload",
+    "ge_workload",
+    "lu_workload",
+    "workload_for_graph",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Task graph ⊗ platform ⊗ unrelated cost matrix.
+
+    Attributes
+    ----------
+    graph:
+        The application DAG with communication volumes.
+    platform:
+        Communication rate/latency matrices.
+    comp:
+        ``(n_tasks, m)`` matrix of *minimum* computation durations
+        (the unrelated model of §II).
+    """
+
+    graph: TaskGraph
+    platform: Platform
+    comp: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "comp", np.asarray(self.comp, dtype=float))
+        self.validate()
+
+    def validate(self) -> None:
+        """Check dimensional consistency and cost sanity."""
+        n, m = self.graph.n_tasks, self.platform.m
+        if self.comp.shape != (n, m):
+            raise ValueError(
+                f"comp matrix shape {self.comp.shape} does not match "
+                f"(n_tasks={n}, m={m})"
+            )
+        if not np.all(np.isfinite(self.comp)) or np.any(self.comp < 0):
+            raise ValueError("computation costs must be finite and ≥ 0")
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks."""
+        return self.graph.n_tasks
+
+    @property
+    def m(self) -> int:
+        """Number of machines."""
+        return self.platform.m
+
+    # ------------------------------------------------------------------ #
+    # deterministic (minimum) durations
+    # ------------------------------------------------------------------ #
+
+    def duration(self, task: int, proc: int) -> float:
+        """Minimum duration of ``task`` on ``proc``."""
+        return float(self.comp[task, proc])
+
+    def comm_time(self, u: int, v: int, p: int, q: int) -> float:
+        """Minimum communication time of edge ``u → v`` placed on ``(p, q)``."""
+        if p == q:
+            return 0.0
+        return self.platform.comm_time(self.graph.volume(u, v), p, q)
+
+    def mean_duration(self, task: int) -> float:
+        """Machine-averaged minimum duration (used by rank computations)."""
+        return float(self.comp[task].mean())
+
+    def mean_durations(self) -> np.ndarray:
+        """Machine-averaged minimum duration of every task."""
+        return self.comp.mean(axis=1)
+
+    def mean_comm_time(self, u: int, v: int) -> float:
+        """Pair-averaged minimum communication time of edge ``u → v``.
+
+        The average is over *distinct* processor pairs (HEFT's
+        ``c̄ = L̄ + c·τ̄`` convention); 0 on a single machine.
+        """
+        return float(
+            self.platform.mean_latency()
+            + self.graph.volume(u, v) * self.platform.mean_tau()
+        )
+
+
+# ---------------------------------------------------------------------- #
+# factories matching the paper's experimental setup (§V)
+# ---------------------------------------------------------------------- #
+
+
+def random_workload(
+    n_tasks: int,
+    m: int,
+    rng: int | None | np.random.Generator = None,
+    ccr: float = 0.1,
+    mu_task: float = 20.0,
+    v_task: float = 0.5,
+    v_mach: float = 0.5,
+    max_in_degree: int | None = None,
+    name: str | None = None,
+) -> Workload:
+    """Random layered DAG + CV-Gamma costs + unit-rate network (paper §V)."""
+    gen_graph, gen_costs = spawn_generators(as_generator(rng), 2)
+    graph = random_dag(
+        n_tasks,
+        gen_graph,
+        ccr=ccr,
+        mu_task=mu_task,
+        v_comm=v_task,
+        max_in_degree=max_in_degree,
+        name=name,
+    )
+    comp = cv_gamma_costs(n_tasks, m, gen_costs, mu_task=mu_task, v_task=v_task, v_mach=v_mach)
+    return Workload(graph, Platform.uniform(m), comp)
+
+
+def workload_for_graph(
+    graph: TaskGraph,
+    m: int,
+    rng: int | None | np.random.Generator = None,
+    min_lo: float = 10.0,
+    min_hi: float = 20.0,
+) -> Workload:
+    """Bind an existing graph to ``m`` machines with the real-app cost recipe.
+
+    Per task: ``minVal ~ U[min_lo, min_hi]``, per-machine cost
+    ``~ U[minVal, 2·minVal]`` (paper §V); unit-rate network so communication
+    *weights* are communication *times*.
+    """
+    comp = uniform_costs(graph.n_tasks, m, rng, min_lo=min_lo, min_hi=min_hi)
+    return Workload(graph, Platform.uniform(m), comp)
+
+
+def cholesky_workload(
+    b: int,
+    m: int,
+    rng: int | None | np.random.Generator = None,
+    volume: float = 2.0,
+) -> Workload:
+    """Tiled-Cholesky workload (paper Figures 3): ``b`` tile columns, ``m`` machines."""
+    return workload_for_graph(cholesky_dag(b, volume=volume), m, rng)
+
+
+def ge_workload(
+    b: int,
+    m: int,
+    rng: int | None | np.random.Generator = None,
+    volume: float = 2.0,
+) -> Workload:
+    """Gaussian-elimination workload (paper Figure 5): ``b`` columns, ``m`` machines."""
+    return workload_for_graph(gaussian_elimination_dag(b, volume=volume), m, rng)
+
+
+def lu_workload(
+    b: int,
+    m: int,
+    rng: int | None | np.random.Generator = None,
+    volume: float = 2.0,
+) -> Workload:
+    """Tiled-LU workload (extension family): ``b`` tile columns, ``m`` machines."""
+    from repro.dag.lu import lu_dag
+
+    return workload_for_graph(lu_dag(b, volume=volume), m, rng)

@@ -1,0 +1,58 @@
+"""Eager schedules and the scheduling heuristics compared in the paper.
+
+A schedule assigns every task to a processor with a per-processor execution
+order.  The paper restricts itself to *eager* schedules: once allocated, a
+task starts as soon as its predecessors' data has arrived and its processor
+is free, in the order given by the schedule — no deliberate idle slack is
+inserted.  Under uncertainty the per-processor orders stay fixed and start
+times are recomputed per realization, which is a longest-path computation on
+the *disjunctive graph* (precedence edges + same-processor chaining edges).
+
+Schedulers
+----------
+* :func:`random_schedule` — the paper's uniform random eager scheduler
+  (random ready task → random processor), used to populate the metric panels;
+* :func:`heft` — Heterogeneous Earliest Finish Time (Topcuoglu et al.);
+* :func:`bil` — Best Imaginary Level (Oh & Ha);
+* :func:`bmct` — the Hybrid BMCT heuristic (Sakellariou & Zhao);
+* :func:`cpop`, :func:`greedy_eft`, :func:`sigma_heft` — extension baselines
+  (CPOP, a greedy list scheduler, and the paper's future-work idea of
+  ranking by mean + k·σ duration).
+"""
+
+from repro.schedule.schedule import Schedule
+from repro.schedule.disjunctive import DisjunctiveGraph
+from repro.schedule.random_schedule import random_schedule, random_schedules
+from repro.schedule.heft import heft
+from repro.schedule.bil import bil
+from repro.schedule.bmct import bmct
+from repro.schedule.cpop import cpop
+from repro.schedule.dls import dls
+from repro.schedule.baselines import greedy_eft, sigma_heft
+
+__all__ = [
+    "Schedule",
+    "DisjunctiveGraph",
+    "random_schedule",
+    "random_schedules",
+    "heft",
+    "bil",
+    "bmct",
+    "cpop",
+    "dls",
+    "greedy_eft",
+    "sigma_heft",
+]
+
+#: Heuristics evaluated in the paper's panels, by name.
+PAPER_HEURISTICS = {"heft": heft, "bil": bil, "bmct": bmct}
+
+#: All implemented heuristics (paper + extensions).
+ALL_HEURISTICS = {
+    "heft": heft,
+    "bil": bil,
+    "bmct": bmct,
+    "cpop": cpop,
+    "dls": dls,
+    "greedy_eft": greedy_eft,
+}

@@ -1,0 +1,57 @@
+"""Per-processor timeline bookkeeping shared by the list heuristics."""
+
+from __future__ import annotations
+
+import bisect
+
+__all__ = ["Timeline"]
+
+
+class Timeline:
+    """Occupied intervals of one processor, kept sorted by start time.
+
+    Supports both *append* scheduling (eager, no insertion) and HEFT-style
+    *insertion* scheduling (a task may fill an idle gap between two already
+    placed tasks).
+    """
+
+    __slots__ = ("_slots",)
+
+    def __init__(self) -> None:
+        self._slots: list[tuple[float, float, int]] = []  # (start, finish, task)
+
+    @property
+    def available(self) -> float:
+        """Finish time of the last task (0 when empty)."""
+        return self._slots[-1][1] if self._slots else 0.0
+
+    def earliest_start(self, ready: float, duration: float, insertion: bool) -> float:
+        """Earliest start ≥ ``ready`` for a task of ``duration``.
+
+        With ``insertion`` the first sufficiently large idle gap is used,
+        otherwise the task goes after the current last task.
+        """
+        if not insertion or not self._slots:
+            return max(ready, self.available)
+        # Gap before the first slot.
+        prev_finish = 0.0
+        for slot_start, slot_finish, _ in self._slots:
+            candidate = max(ready, prev_finish)
+            if candidate + duration <= slot_start + 1e-12:
+                return candidate
+            prev_finish = slot_finish
+        return max(ready, prev_finish)
+
+    def insert(self, task: int, start: float, duration: float) -> None:
+        """Place ``task`` at ``start`` (must not overlap existing slots)."""
+        finish = start + duration
+        idx = bisect.bisect_left(self._slots, (start, finish, task))
+        if idx > 0 and self._slots[idx - 1][1] > start + 1e-12:
+            raise ValueError(f"slot overlap placing task {task} at {start}")
+        if idx < len(self._slots) and self._slots[idx][0] < finish - 1e-12:
+            raise ValueError(f"slot overlap placing task {task} at {start}")
+        self._slots.insert(idx, (start, finish, task))
+
+    def order(self) -> list[int]:
+        """Tasks in execution (start-time) order."""
+        return [task for _, _, task in self._slots]

@@ -1,0 +1,117 @@
+"""Extension baselines: greedy EFT and the σ-HEFT future-work heuristic.
+
+* :func:`greedy_eft` — dynamic list scheduling: at every step, among all
+  ready tasks, commit the (task, processor) pair with the globally smallest
+  earliest finish time (a DAG flavour of min-min).
+* :func:`sigma_heft` — the paper's future-work idea (§VIII): run HEFT on
+  *risk-adjusted* costs ``mean + k·σ`` instead of minimum costs, so that the
+  ranking and the processor choice both prefer low-variance options.  With
+  the paper's fixed-UL model σ is proportional to the mean, so ``k`` mostly
+  matters when comparing machines with different speeds; the ablation bench
+  measures whether it buys robustness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.platform.workload import Workload
+from repro.schedule.heft import heft
+from repro.schedule.schedule import Schedule
+from repro.stochastic.model import StochasticModel
+
+__all__ = ["greedy_eft", "sigma_heft"]
+
+
+def greedy_eft(workload: Workload, label: str = "greedy-EFT") -> Schedule:
+    """Dynamic min-min-style list scheduler (no insertion)."""
+    graph = workload.graph
+    n, m = workload.n_tasks, workload.m
+    remaining_preds = np.array(
+        [len(graph.predecessors(v)) for v in range(n)], dtype=int
+    )
+    ready = {v for v in range(n) if remaining_preds[v] == 0}
+    proc = np.full(n, -1, dtype=np.intp)
+    finish = np.zeros(n)
+    avail = np.zeros(m)
+    sequence: list[tuple[int, int]] = []
+
+    while ready:
+        best = None  # (eft, task, proc, start)
+        for t in sorted(ready):
+            for p in range(m):
+                est = avail[p]
+                for u in graph.predecessors(t):
+                    comm = 0.0
+                    if int(proc[u]) != p:
+                        comm = workload.platform.comm_time(
+                            graph.volume(u, t), int(proc[u]), p
+                        )
+                    est = max(est, finish[u] + comm)
+                eft = est + workload.comp[t, p]
+                if best is None or eft < best[0] - 1e-12:
+                    best = (eft, t, p, est)
+        eft, t, p, start = best  # type: ignore[misc]
+        proc[t] = p
+        finish[t] = eft
+        avail[p] = eft
+        sequence.append((t, p))
+        ready.remove(t)
+        for s in graph.successors(t):
+            remaining_preds[s] -= 1
+            if remaining_preds[s] == 0:
+                ready.add(s)
+
+    return Schedule.from_assignment_sequence(workload, sequence, label=label)
+
+
+def sigma_heft(
+    workload: Workload,
+    model: StochasticModel,
+    k: float = 1.0,
+    label: str | None = None,
+    task_ul: np.ndarray | None = None,
+) -> Schedule:
+    """HEFT on risk-adjusted costs ``E[d] + k·σ[d]`` (paper future work).
+
+    ``model`` supplies the closed-form mean and standard deviation of each
+    duration under the uncertainty level; ``k`` is the risk weight (0
+    reduces to HEFT on mean durations).
+
+    ``task_ul`` optionally overrides the uncertainty level per task (shape
+    ``(n_tasks,)``) — the variable-UL scenario of §VIII.  This is where the
+    heuristic becomes genuinely different from HEFT: with a fixed UL, σ is
+    proportional to the mean and the risk adjustment cannot change any
+    ordering, but with per-task ULs the ranking starts avoiding noisy tasks'
+    worst placements.
+    """
+    if k < 0:
+        raise ValueError(f"risk weight k must be ≥ 0, got {k}")
+    comp = workload.comp
+    if task_ul is None:
+        mean = np.asarray(model.mean(comp))
+        std = np.asarray(model.std(comp))
+    else:
+        task_ul = np.asarray(task_ul, dtype=float)
+        if task_ul.shape != (workload.n_tasks,):
+            raise ValueError(
+                f"task_ul must have shape ({workload.n_tasks},), got {task_ul.shape}"
+            )
+        if np.any(task_ul < 1.0):
+            raise ValueError("per-task uncertainty levels must be ≥ 1")
+        beta_mean = model.alpha / (model.alpha + model.beta)
+        beta_var = (
+            model.alpha
+            * model.beta
+            / ((model.alpha + model.beta) ** 2 * (model.alpha + model.beta + 1.0))
+        )
+        spread = (task_ul - 1.0)[:, None] * comp
+        mean = comp * (1.0 + (task_ul - 1.0)[:, None] * beta_mean)
+        std = spread * np.sqrt(beta_var)
+    adjusted = mean + k * std
+    return heft(
+        workload,
+        comp=adjusted,
+        durations=adjusted.mean(axis=1),
+        label=label if label is not None else f"sigma-HEFT(k={k:g})",
+    )

@@ -1,0 +1,107 @@
+"""BIL — Best Imaginary Level scheduling (Oh & Ha, Euro-Par 1996).
+
+The *basic imaginary level* of task ``i`` on processor ``j`` is the length
+of the best-case critical path from ``i`` to the exit when ``i`` runs on
+``j``::
+
+    BIL(i, j) = w_ij + max_{k ∈ succ(i)} min_{j'} ( BIL(k, j') + c_ik·[j ≠ j'] )
+
+computed bottom-up.  Scheduling proceeds over the ready list: each ready
+task's *basic imaginary makespan* on each processor is
+``BIM(i, j) = max(EST(i, j), avail(j)) + BIL(i, j)``; following Oh & Ha,
+each task's BIM values are sorted increasingly, the task selection priority
+is its ``k``-th smallest BIM (``k`` = min(#ready tasks, m), reflecting that
+with many competitors a task will not get its favourite processor), ties
+broken by larger BIL range (more critical tasks first).  The selected task
+goes to the processor with the smallest BIM (eager append, no insertion —
+BIL is a pure list scheduler).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.platform.workload import Workload
+from repro.schedule.schedule import Schedule
+
+__all__ = ["bil", "bil_levels"]
+
+
+def bil_levels(workload: Workload) -> np.ndarray:
+    """``(n, m)`` matrix of Best Imaginary Levels."""
+    graph = workload.graph
+    n, m = workload.n_tasks, workload.m
+    levels = np.zeros((n, m))
+    for v in graph.topological_order()[::-1]:
+        v = int(v)
+        succs = graph.successors(v)
+        for j in range(m):
+            tail = 0.0
+            for k in succs:
+                # min over target processors of BIL(k, j') + comm if j' ≠ j
+                best = np.inf
+                for jp in range(m):
+                    comm = 0.0
+                    if jp != j:
+                        comm = workload.platform.comm_time(
+                            graph.volume(v, k), j, jp
+                        )
+                    cand = levels[k, jp] + comm
+                    if cand < best:
+                        best = cand
+                tail = max(tail, best)
+            levels[v, j] = workload.comp[v, j] + tail
+    return levels
+
+
+def bil(workload: Workload, label: str = "BIL") -> Schedule:
+    """Schedule ``workload`` with the BIL heuristic."""
+    graph = workload.graph
+    n, m = workload.n_tasks, workload.m
+    levels = bil_levels(workload)
+
+    remaining_preds = np.array(
+        [len(graph.predecessors(v)) for v in range(n)], dtype=int
+    )
+    ready = [v for v in range(n) if remaining_preds[v] == 0]
+    proc = np.full(n, -1, dtype=np.intp)
+    finish = np.zeros(n)
+    avail = np.zeros(m)
+    sequence: list[tuple[int, int]] = []
+
+    while ready:
+        k = min(len(ready), m)
+        best_task, best_key = -1, None
+        bims: dict[int, np.ndarray] = {}
+        for t in ready:
+            est = np.zeros(m)
+            for u in graph.predecessors(t):
+                pu = int(proc[u])
+                for j in range(m):
+                    comm = 0.0
+                    if pu != j:
+                        comm = workload.platform.comm_time(graph.volume(u, t), pu, j)
+                    est[j] = max(est[j], finish[u] + comm)
+            bim = np.maximum(est, avail) + levels[t]
+            bims[t] = bim
+            s = np.sort(bim)
+            # Priority: the k-th smallest BIM, i.e. the makespan this task
+            # can still guarantee if its k−1 better processors are taken.
+            # Larger is more urgent.  Tie-break: wider BIL spread first.
+            key = (s[k - 1], float(levels[t].max() - levels[t].min()), -t)
+            if best_key is None or key > best_key:
+                best_task, best_key = t, key
+        bim = bims[best_task]
+        p = int(np.argmin(bim))
+        proc[best_task] = p
+        start = max(avail[p], float(bim[p] - levels[best_task, p]))
+        finish[best_task] = start + workload.comp[best_task, p]
+        avail[p] = finish[best_task]
+        sequence.append((best_task, p))
+        ready.remove(best_task)
+        for s_ in graph.successors(best_task):
+            remaining_preds[s_] -= 1
+            if remaining_preds[s_] == 0:
+                ready.append(s_)
+
+    return Schedule.from_assignment_sequence(workload, sequence, label=label)

@@ -1,0 +1,105 @@
+"""CPOP — Critical-Path-on-a-Processor (Topcuoglu, Hariri & Wu).
+
+Extension baseline (the paper cites CPOP in its introduction but does not
+evaluate it; we include it for completeness).  CPOP prioritizes tasks by
+``rank_u + rank_d`` (upward + downward rank with mean costs), pins every
+critical-path task onto the single processor minimizing the total
+critical-path computation time, and schedules the rest by earliest finish
+time with insertion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.platform.workload import Workload
+from repro.schedule._timeline import Timeline
+from repro.schedule.heft import upward_ranks
+from repro.schedule.schedule import Schedule
+
+__all__ = ["cpop", "downward_ranks"]
+
+
+def downward_ranks(workload: Workload) -> np.ndarray:
+    """Downward rank: longest mean-cost path from an entry, excluding self."""
+    graph = workload.graph
+    w = workload.mean_durations()
+    ranks = np.zeros(graph.n_tasks)
+    for v in graph.topological_order():
+        v = int(v)
+        for u in graph.predecessors(v):
+            c = workload.mean_comm_time(u, v)
+            ranks[v] = max(ranks[v], ranks[u] + w[u] + c)
+    return ranks
+
+
+def cpop(workload: Workload, label: str = "CPOP") -> Schedule:
+    """Schedule ``workload`` with CPOP."""
+    graph = workload.graph
+    n, m = workload.n_tasks, workload.m
+    ru = upward_ranks(workload)
+    rd = downward_ranks(workload)
+    priority = ru + rd
+    cp_value = float(priority.max())
+
+    # Walk one critical path (priority stays ≈ cp_value along it).
+    tol = 1e-9 * max(cp_value, 1.0)
+    entry = max(
+        (v for v in graph.entry_tasks()),
+        key=lambda v: priority[v],
+    )
+    cp_tasks = [int(entry)]
+    v = int(entry)
+    while graph.successors(v):
+        candidates = [s for s in graph.successors(v) if priority[s] >= cp_value - tol]
+        if not candidates:
+            break
+        v = int(max(candidates, key=lambda s: priority[s]))
+        cp_tasks.append(v)
+    cp_set = set(cp_tasks)
+    cp_proc = int(np.argmin(workload.comp[cp_tasks].sum(axis=0)))
+
+    import heapq
+
+    remaining_preds = np.array(
+        [len(graph.predecessors(v)) for v in range(n)], dtype=int
+    )
+    heap = [(-priority[v], v) for v in range(n) if remaining_preds[v] == 0]
+    heapq.heapify(heap)
+    proc = np.full(n, -1, dtype=np.intp)
+    finish = np.zeros(n)
+    timelines = [Timeline() for _ in range(m)]
+
+    def est_on(task: int, p: int) -> float:
+        ready = 0.0
+        for u in graph.predecessors(task):
+            comm = 0.0
+            if int(proc[u]) != p:
+                comm = workload.platform.comm_time(graph.volume(u, task), int(proc[u]), p)
+            ready = max(ready, finish[u] + comm)
+        return ready
+
+    while heap:
+        _, task = heapq.heappop(heap)
+        if task in cp_set:
+            p = cp_proc
+            duration = float(workload.comp[task, p])
+            start = timelines[p].earliest_start(est_on(task, p), duration, True)
+        else:
+            p, start, best_eft = -1, 0.0, np.inf
+            for q in range(m):
+                duration_q = float(workload.comp[task, q])
+                s = timelines[q].earliest_start(est_on(task, q), duration_q, True)
+                if s + duration_q < best_eft - 1e-12:
+                    p, start, best_eft = q, s, s + duration_q
+            duration = float(workload.comp[task, p])
+        timelines[p].insert(task, start, duration)
+        proc[task] = p
+        finish[task] = start + duration
+        for s_ in graph.successors(task):
+            remaining_preds[s_] -= 1
+            if remaining_preds[s_] == 0:
+                heapq.heappush(heap, (-priority[s_], s_))
+
+    orders = [tl.order() for tl in timelines]
+    return Schedule.from_proc_orders(workload, proc, orders, label=label)

@@ -1,0 +1,260 @@
+"""The eager :class:`Schedule` representation.
+
+A schedule is fully determined by the task → processor assignment and the
+per-processor execution orders; start/finish times for the *minimum*
+(deterministic) durations are derived by the eager replay and cached, along
+with the disjunctive graph that every uncertainty analysis reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.platform.workload import Workload
+from repro.schedule.disjunctive import DisjunctiveGraph
+
+__all__ = ["Schedule"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An eager schedule of a workload.
+
+    Use :meth:`from_proc_orders` (general) or
+    :meth:`from_assignment_sequence` (for list schedulers that append tasks)
+    rather than the raw constructor.
+
+    Attributes
+    ----------
+    workload:
+        The scheduled workload.
+    proc:
+        ``(n,)`` array, processor of each task.
+    orders:
+        Tuple (one entry per processor) of task tuples in execution order.
+    start, finish:
+        Deterministic eager times under minimum durations.
+    label:
+        Optional provenance tag (``"random"``, ``"HEFT"``, …).
+    """
+
+    workload: Workload
+    proc: np.ndarray
+    orders: tuple[tuple[int, ...], ...]
+    start: np.ndarray
+    finish: np.ndarray
+    label: str = ""
+    _disjunctive: DisjunctiveGraph = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_proc_orders(
+        cls,
+        workload: Workload,
+        proc: Sequence[int] | np.ndarray,
+        orders: Sequence[Sequence[int]],
+        label: str = "",
+    ) -> "Schedule":
+        """Build a schedule from an assignment and per-processor orders.
+
+        Start/finish times are computed by eager replay of the disjunctive
+        graph with minimum durations; consistency (partition, acyclicity,
+        assignment/order agreement) is validated.
+        """
+        proc = np.asarray(proc, dtype=np.intp)
+        n, m = workload.n_tasks, workload.m
+        if proc.shape != (n,):
+            raise ValueError(f"proc must have shape ({n},), got {proc.shape}")
+        if len(orders) != m:
+            raise ValueError(f"need one order per processor ({m}), got {len(orders)}")
+        if np.any(proc < 0) or np.any(proc >= m):
+            raise ValueError("processor assignment out of range")
+        for p, order in enumerate(orders):
+            for t in order:
+                if proc[t] != p:
+                    raise ValueError(
+                        f"task {t} is in processor {p}'s order but assigned to {proc[t]}"
+                    )
+        orders_t = tuple(tuple(int(t) for t in order) for order in orders)
+        dis = DisjunctiveGraph.build(workload.graph, orders_t)
+        start, finish = _replay(workload, proc, dis)
+        return cls(
+            workload=workload,
+            proc=proc,
+            orders=orders_t,
+            start=start,
+            finish=finish,
+            label=label,
+            _disjunctive=dis,
+        )
+
+    @classmethod
+    def from_assignment_sequence(
+        cls,
+        workload: Workload,
+        sequence: Sequence[tuple[int, int]],
+        label: str = "",
+    ) -> "Schedule":
+        """Build from a ``[(task, proc), …]`` list in scheduling order.
+
+        Tasks are appended to their processor's order in sequence order —
+        the natural output format of ready-list schedulers.
+        """
+        proc = np.full(workload.n_tasks, -1, dtype=np.intp)
+        orders: list[list[int]] = [[] for _ in range(workload.m)]
+        for task, p in sequence:
+            if proc[task] != -1:
+                raise ValueError(f"task {task} scheduled twice")
+            proc[task] = p
+            orders[p].append(task)
+        if np.any(proc == -1):
+            raise ValueError("assignment sequence does not cover all tasks")
+        return cls.from_proc_orders(workload, proc, orders, label=label)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def makespan(self) -> float:
+        """Deterministic (minimum-duration) makespan."""
+        return float(self.finish.max())
+
+    def disjunctive(self) -> DisjunctiveGraph:
+        """The cached disjunctive graph of this schedule."""
+        return self._disjunctive
+
+    def min_durations(self) -> np.ndarray:
+        """Minimum duration of each task on its assigned processor."""
+        return self.workload.comp[np.arange(self.workload.n_tasks), self.proc]
+
+    def comm_edges(self) -> list[tuple[int, int, float]]:
+        """Cross-processor application edges as ``(u, v, min_comm_time)``.
+
+        Same-processor edges cost zero and are omitted.
+        """
+        out = []
+        for u, v, volume in self.workload.graph.edges():
+            p, q = int(self.proc[u]), int(self.proc[v])
+            if p != q:
+                out.append((u, v, self.workload.platform.comm_time(volume, p, q)))
+        return out
+
+    def validate(self) -> None:
+        """Re-check structural and temporal consistency (for tests/debugging).
+
+        Verifies precedence-with-communication feasibility, per-processor
+        non-overlap, and the eager property (no avoidable idle time).
+        """
+        w = self.workload
+        start, finish = self.start, self.finish
+        dur = self.min_durations()
+        if not np.allclose(finish, start + dur):
+            raise ValueError("finish times do not equal start + duration")
+        for u, v, volume in w.graph.edges():
+            comm = w.platform.comm_time(volume, int(self.proc[u]), int(self.proc[v]))
+            if self.proc[u] == self.proc[v]:
+                comm = 0.0
+            if start[v] < finish[u] + comm - 1e-9:
+                raise ValueError(f"precedence violated on edge ({u}, {v})")
+        for p, order in enumerate(self.orders):
+            for a, b in zip(order, order[1:]):
+                if start[b] < finish[a] - 1e-9:
+                    raise ValueError(f"overlap between tasks {a} and {b} on proc {p}")
+        # Eagerness: each task starts exactly at its ready time.
+        ready = np.zeros(w.n_tasks)
+        for v in self._disjunctive.topo:
+            v = int(v)
+            r = 0.0
+            for u, volume in self._disjunctive.preds[v]:
+                comm = 0.0
+                if volume is not None and self.proc[u] != self.proc[v]:
+                    comm = w.platform.comm_time(volume, int(self.proc[u]), int(self.proc[v]))
+                r = max(r, finish[u] + comm)
+            ready[v] = r
+        if not np.allclose(ready, start, atol=1e-9):
+            raise ValueError("schedule is not eager (avoidable idle time found)")
+
+    def signature(self) -> tuple:
+        """Hashable identity of this schedule (assignment + orders).
+
+        Two schedules with equal signatures have identical realizations
+        under every duration model.  Used to check the paper's §V remark
+        that "even for the smallest graphs, the probability to get the same
+        random schedule twice is not high".
+        """
+        return (tuple(int(p) for p in self.proc), self.orders)
+
+    def gantt_text(self, width: int = 72) -> str:
+        """Plain-text Gantt chart of the deterministic schedule.
+
+        One row per processor; each task is drawn as ``[id___]`` scaled to
+        ``width`` characters over the makespan.  Intended for examples and
+        debugging, not precise rendering — tasks shorter than two characters
+        collapse to ``#``.
+        """
+        if width < 10:
+            raise ValueError(f"width must be ≥ 10, got {width}")
+        makespan = self.makespan
+        if makespan <= 0:
+            return "(empty schedule)"
+        scale = width / makespan
+        lines = []
+        for p, order in enumerate(self.orders):
+            row = [" "] * width
+            for t in order:
+                a = int(self.start[t] * scale)
+                b = max(int(self.finish[t] * scale), a + 1)
+                b = min(b, width)
+                span = b - a
+                label = str(t)
+                if span >= len(label) + 2:
+                    block = "[" + label.ljust(span - 2, "_") + "]"
+                elif span >= 2:
+                    block = "[" + "#" * (span - 2) + "]"
+                else:
+                    block = "#"
+                for k, ch in enumerate(block[: width - a]):
+                    row[a + k] = ch
+            lines.append(f"P{p:<2d}|{''.join(row)}|")
+        lines.append(f"    0{'·'.rjust(width - 6)} {makespan:.1f}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lbl = f" {self.label!r}" if self.label else ""
+        return (
+            f"Schedule({lbl} n={self.workload.n_tasks}, m={self.workload.m}, "
+            f"makespan={self.makespan:.4g})"
+        )
+
+
+def _replay(
+    workload: Workload, proc: np.ndarray, dis: DisjunctiveGraph
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eager start/finish times under minimum durations."""
+    n = workload.n_tasks
+    start = np.zeros(n)
+    finish = np.zeros(n)
+    comp = workload.comp
+    platform = workload.platform
+    for v in dis.topo:
+        v = int(v)
+        t = 0.0
+        pv = int(proc[v])
+        for u, volume in dis.preds[v]:
+            comm = 0.0
+            pu = int(proc[u])
+            if volume is not None and pu != pv:
+                comm = platform.comm_time(volume, pu, pv)
+            arrival = finish[u] + comm
+            if arrival > t:
+                t = arrival
+        start[v] = t
+        finish[v] = t + comp[v, pv]
+    return start, finish

@@ -1,0 +1,46 @@
+"""Numeric random variables and the paper's uncertainty model.
+
+This package is the numerical substrate of the reproduction: the paper
+evaluates makespan *distributions* by manipulating sampled probability
+density functions (64-point grids in the original C/GSL implementation).
+
+Contents
+--------
+:class:`NumericRV`
+    A probability distribution sampled on a uniform grid, with the two
+    operators the makespan evaluation needs — the *sum* of independent RVs
+    (FFT/direct convolution of PDFs) and the *maximum* of independent RVs
+    (product of CDFs) — plus moments, differential entropy and quantiles.
+:class:`NormalRV`
+    A mean/variance-only Gaussian surrogate used by the Spelde evaluation
+    method (sums add moments, maxima use Clark's equations).
+:class:`StochasticModel`
+    The paper's uncertainty model: a duration with minimum value ``w`` is a
+    scaled Beta(α, β) on ``[w, UL·w]`` where ``UL`` is the uncertainty level.
+Distribution factories
+    Scaled Beta, Gamma, uniform, Dirac and the deliberately multi-modal
+    "special" distribution of Figure 7.
+"""
+
+from repro.stochastic.rv import NumericRV, DEFAULT_GRID_SIZE
+from repro.stochastic.distributions import (
+    beta_rv,
+    gamma_rv,
+    point_rv,
+    special_rv,
+    uniform_rv,
+)
+from repro.stochastic.normal import NormalRV
+from repro.stochastic.model import StochasticModel
+
+__all__ = [
+    "NumericRV",
+    "NormalRV",
+    "StochasticModel",
+    "DEFAULT_GRID_SIZE",
+    "beta_rv",
+    "gamma_rv",
+    "uniform_rv",
+    "point_rv",
+    "special_rv",
+]

@@ -1,0 +1,54 @@
+"""Low-level helpers for PDFs sampled on uniform grids.
+
+All functions operate on plain numpy arrays; :class:`repro.stochastic.rv.NumericRV`
+is a thin object wrapper around them.  Integration uses the trapezoid rule —
+on the smooth, compactly supported densities manipulated here it converges
+at the same order as Simpson for our grid sizes while behaving better on the
+kinked densities produced by ``max`` operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "integrate",
+    "cumulative",
+    "normalize_pdf",
+    "resample_pdf",
+]
+
+
+def integrate(pdf: np.ndarray, dx: float) -> float:
+    """Trapezoid integral of ``pdf`` sampled with uniform step ``dx``."""
+    return float(np.trapezoid(pdf, dx=dx))
+
+
+def cumulative(pdf: np.ndarray, dx: float) -> np.ndarray:
+    """Trapezoid cumulative integral (CDF values) with ``cdf[0] == 0``."""
+    out = np.empty_like(pdf, dtype=float)
+    out[0] = 0.0
+    if len(pdf) > 1:
+        np.cumsum((pdf[1:] + pdf[:-1]) * (0.5 * dx), out=out[1:])
+    return out
+
+
+def normalize_pdf(pdf: np.ndarray, dx: float) -> np.ndarray:
+    """Scale ``pdf`` so its trapezoid integral is exactly 1.
+
+    Raises
+    ------
+    ValueError
+        If the total mass is zero or not finite.
+    """
+    total = integrate(pdf, dx)
+    if not np.isfinite(total) or total <= 0.0:
+        raise ValueError(f"cannot normalize PDF with total mass {total!r}")
+    return pdf / total
+
+
+def resample_pdf(
+    xs: np.ndarray, pdf: np.ndarray, new_xs: np.ndarray
+) -> np.ndarray:
+    """Linearly interpolate ``pdf`` onto ``new_xs`` (zero outside support)."""
+    return np.interp(new_xs, xs, pdf, left=0.0, right=0.0)

@@ -1,0 +1,490 @@
+"""Grid-sampled random variables with sum and max operators.
+
+The paper evaluates makespan distributions by representing every duration as
+a probability density sampled on a small uniform grid (64 points in the
+original GSL implementation) and combining them with exactly two operators:
+
+* the **sum** of two independent RVs — the convolution of their PDFs;
+* the **maximum** of two independent RVs — the product of their CDFs.
+
+:class:`NumericRV` implements both, together with the statistics needed by
+the robustness metrics (mean, variance, differential entropy, CDF queries,
+quantiles).  A degenerate *point* (Dirac) variable is represented explicitly
+so that deterministic quantities — zero same-processor communications, the
+start time of entry tasks — flow through the same code path without numerical
+widening.
+
+Grid management
+---------------
+Supports are finite (all model distributions are scaled Betas).  After every
+binary operation the result is refit onto a fresh uniform grid of
+``grid_n`` points (default :data:`DEFAULT_GRID_SIZE`); the paper found 64
+points "largely sufficient" and we default slightly higher for headroom.
+Convolutions are computed with :func:`numpy.convolve` at a common step: at
+these sizes the direct O(N²) product is faster than FFT *and* free of ringing
+(negative lobes), which matters because PDFs must stay non-negative.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.stochastic.grid import cumulative, normalize_pdf, resample_pdf
+
+__all__ = ["NumericRV", "DEFAULT_GRID_SIZE"]
+
+#: Default number of grid points for freshly built RVs (paper used 64).
+DEFAULT_GRID_SIZE = 129
+
+#: Hard cap on intermediate convolution sizes to bound memory/time.
+_MAX_CONV_POINTS = 1 << 14
+
+#: Per-side probability mass dropped when trimming numerical tails.  After a
+#: long chain of sums the support widens like k while the density's effective
+#: width grows like √k; without trimming, the fixed-size grid coarsens and
+#: every resample diffuses the density (inflating the variance).  Trimming
+#: keeps the grid step proportional to the actual spread.
+_TAIL_EPS = 1e-9
+
+
+class NumericRV:
+    """A continuous (or degenerate) random variable on a uniform grid.
+
+    Instances are immutable.  Use the factory classmethods
+    (:meth:`from_pdf`, :meth:`point`, :meth:`from_samples`) or the
+    distribution helpers in :mod:`repro.stochastic.distributions`.
+
+    Attributes
+    ----------
+    xs:
+        Grid of support points (length ≥ 2), or a single-element array for a
+        point mass.
+    pdf:
+        Density values on ``xs`` (normalized to unit trapezoid mass), or
+        ``None`` for a point mass.
+    """
+
+    __slots__ = ("xs", "pdf", "_cdf")
+
+    def __init__(self, xs: np.ndarray, pdf: np.ndarray | None):
+        self.xs = xs
+        self.pdf = pdf
+        self._cdf: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def point(cls, x: float) -> "NumericRV":
+        """Dirac mass at ``x``."""
+        if not np.isfinite(x):
+            raise ValueError(f"point mass requires a finite value, got {x!r}")
+        return cls(np.array([float(x)]), None)
+
+    @classmethod
+    def from_pdf(
+        cls,
+        xs: Sequence[float] | np.ndarray,
+        pdf: Sequence[float] | np.ndarray,
+        grid_n: int | None = None,
+    ) -> "NumericRV":
+        """Build an RV from density samples on a *uniform* ascending grid.
+
+        Negative density values are clipped to zero and the result is
+        renormalized to unit mass.  If ``grid_n`` is given the density is
+        resampled onto that many points.
+        """
+        xs = np.asarray(xs, dtype=float)
+        pdf = np.asarray(pdf, dtype=float)
+        if xs.ndim != 1 or xs.shape != pdf.shape:
+            raise ValueError("xs and pdf must be 1-D arrays of equal length")
+        if len(xs) < 2:
+            raise ValueError("need at least two grid points (use point() for Dirac)")
+        steps = np.diff(xs)
+        if np.any(steps <= 0):
+            raise ValueError("xs must be strictly increasing")
+        if not np.allclose(steps, steps[0], rtol=1e-6, atol=1e-12):
+            raise ValueError("xs must be uniformly spaced")
+        if not np.all(np.isfinite(pdf)):
+            raise ValueError("pdf contains non-finite values")
+        pdf = np.clip(pdf, 0.0, None)
+        if grid_n is not None and grid_n != len(xs):
+            new_xs = np.linspace(xs[0], xs[-1], grid_n)
+            pdf = resample_pdf(xs, pdf, new_xs)
+            xs = new_xs
+        dx = xs[1] - xs[0]
+        pdf = normalize_pdf(pdf, dx)
+        return cls(xs, pdf)
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[float] | np.ndarray, grid_n: int = DEFAULT_GRID_SIZE
+    ) -> "NumericRV":
+        """Kernel-free empirical density (histogram) of ``samples``.
+
+        Used to visualise Monte-Carlo realizations against analytic
+        evaluations (paper Figure 2).
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.size < 2:
+            raise ValueError("need at least two samples")
+        lo, hi = float(samples.min()), float(samples.max())
+        if hi <= lo:
+            return cls.point(lo)
+        counts, edges = np.histogram(samples, bins=grid_n - 1, range=(lo, hi), density=True)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        # Extend to bin edges so the support matches the sample range.
+        xs = np.linspace(lo, hi, grid_n)
+        pdf = np.interp(xs, centers, counts, left=counts[0], right=counts[-1])
+        return cls.from_pdf(xs, pdf)
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_point(self) -> bool:
+        """True when this RV is a Dirac mass."""
+        return self.pdf is None
+
+    @property
+    def lo(self) -> float:
+        """Lower end of the support."""
+        return float(self.xs[0])
+
+    @property
+    def hi(self) -> float:
+        """Upper end of the support."""
+        return float(self.xs[-1])
+
+    @property
+    def dx(self) -> float:
+        """Grid step (0.0 for a point mass)."""
+        if self.is_point:
+            return 0.0
+        return float(self.xs[1] - self.xs[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_point:
+            return f"NumericRV.point({self.lo:.6g})"
+        return (
+            f"NumericRV(support=[{self.lo:.6g}, {self.hi:.6g}], "
+            f"n={len(self.xs)}, mean={self.mean():.6g})"
+        )
+
+    def cdf_values(self) -> np.ndarray:
+        """CDF sampled on :attr:`xs` (cached)."""
+        if self.is_point:
+            return np.array([1.0])
+        if self._cdf is None:
+            cdf = cumulative(self.pdf, self.dx)
+            # Guard against accumulation drift: force the terminal value to 1.
+            if cdf[-1] > 0:
+                cdf = cdf / cdf[-1]
+            self._cdf = np.clip(cdf, 0.0, 1.0)
+        return self._cdf
+
+    def cdf(self, x: float | np.ndarray) -> float | np.ndarray:
+        """P(X ≤ x), evaluated by linear interpolation."""
+        x = np.asarray(x, dtype=float)
+        if self.is_point:
+            out = (x >= self.lo).astype(float)
+        else:
+            out = np.interp(x, self.xs, self.cdf_values(), left=0.0, right=1.0)
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Smallest x with P(X ≤ x) ≥ q (linear interpolation)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile level must be in [0, 1], got {q}")
+        if self.is_point:
+            return self.lo
+        cdf = self.cdf_values()
+        # np.interp needs an increasing x-array; the CDF may have flat runs,
+        # in which case interp returns the left edge which is what we want.
+        return float(np.interp(q, cdf, self.xs))
+
+    def prob_between(self, a: float, b: float) -> float:
+        """P(a ≤ X ≤ b)."""
+        if b < a:
+            return 0.0
+        return float(self.cdf(b)) - float(self.cdf(a))
+
+    # ------------------------------------------------------------------ #
+    # moments and entropy
+    # ------------------------------------------------------------------ #
+
+    def mean(self) -> float:
+        """Expected value E[X]."""
+        if self.is_point:
+            return self.lo
+        return float(np.trapezoid(self.xs * self.pdf, dx=self.dx))
+
+    def var(self) -> float:
+        """Variance E[X²] − E[X]² (clipped at 0 against round-off)."""
+        if self.is_point:
+            return 0.0
+        m = self.mean()
+        second = float(np.trapezoid((self.xs - m) ** 2 * self.pdf, dx=self.dx))
+        return max(second, 0.0)
+
+    def std(self) -> float:
+        """Standard deviation."""
+        return float(np.sqrt(self.var()))
+
+    def entropy(self) -> float:
+        """Differential entropy h(X) = −∫ f ln f (natural log, nats).
+
+        The paper writes the integral without the minus sign but *minimizes*
+        it; we use the standard sign so that, like every other metric, a
+        robust (narrow) distribution has a *small* value.  A point mass
+        returns ``-inf``.
+        """
+        if self.is_point:
+            return float("-inf")
+        f = self.pdf
+        integrand = np.where(f > 0.0, -f * np.log(np.where(f > 0.0, f, 1.0)), 0.0)
+        return float(np.trapezoid(integrand, dx=self.dx))
+
+    def mean_above(self, threshold: float) -> float:
+        """E[X | X > threshold] (used by the average-lateness metric).
+
+        Returns ``threshold`` when there is (numerically) no mass above it.
+        """
+        if self.is_point:
+            return max(self.lo, threshold)
+        if threshold <= self.lo:
+            return self.mean()
+        if threshold >= self.hi:
+            return threshold
+        mask = self.xs > threshold
+        xs = np.concatenate(([threshold], self.xs[mask]))
+        pdf = np.concatenate(
+            ([float(np.interp(threshold, self.xs, self.pdf))], self.pdf[mask])
+        )
+        mass = float(np.trapezoid(pdf, xs))
+        if mass <= 1e-12:
+            return threshold
+        return float(np.trapezoid(xs * pdf, xs) / mass)
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+
+    def shift(self, c: float) -> "NumericRV":
+        """X + c for a constant c."""
+        c = float(c)
+        if c == 0.0:
+            return self
+        if self.is_point:
+            return NumericRV.point(self.lo + c)
+        rv = NumericRV(self.xs + c, self.pdf)
+        rv._cdf = self._cdf
+        return rv
+
+    def scale(self, c: float) -> "NumericRV":
+        """c·X for a constant c > 0."""
+        c = float(c)
+        if c <= 0.0:
+            raise ValueError(f"scale factor must be positive, got {c}")
+        if c == 1.0:
+            return self
+        if self.is_point:
+            return NumericRV.point(self.lo * c)
+        return NumericRV(self.xs * c, self.pdf / c)
+
+    def __add__(self, other: "NumericRV | float") -> "NumericRV":
+        if isinstance(other, (int, float, np.floating)):
+            return self.shift(float(other))
+        return self.add(other)
+
+    __radd__ = __add__
+
+    def __mul__(self, c: float) -> "NumericRV":
+        return self.scale(float(c))
+
+    __rmul__ = __mul__
+
+    def add(
+        self, other: "NumericRV", grid_n: int | None = None
+    ) -> "NumericRV":
+        """Distribution of X + Y for independent X, Y.
+
+        The PDFs are brought to a common step and convolved directly; the
+        result is refit to ``grid_n`` points (default: the larger of the two
+        operand grids).
+        """
+        if self.is_point:
+            return other.shift(self.lo)
+        if other.is_point:
+            return self.shift(other.lo)
+        if grid_n is None:
+            grid_n = max(len(self.xs), len(other.xs))
+        xs, pdf = _convolve(self.xs, self.pdf, other.xs, other.pdf)
+        xs, pdf = _trim_tails(xs, pdf)
+        return NumericRV.from_pdf(xs, pdf, grid_n=grid_n)
+
+    def maximum(
+        self, other: "NumericRV", grid_n: int | None = None
+    ) -> "NumericRV":
+        """Distribution of max(X, Y) for independent X, Y (CDF product)."""
+        return NumericRV.max_of([self, other], grid_n=grid_n)
+
+    def sum_iid(self, k: int, grid_n: int | None = None) -> "NumericRV":
+        """Distribution of the sum of ``k`` independent copies of X.
+
+        Intermediate convolutions keep full resolution (no downsampling) so
+        that the CLT-convergence study of Figure 8 is not polluted by
+        resampling smoothing; only the final result is refit.
+        """
+        if k < 1:
+            raise ValueError(f"k must be ≥ 1, got {k}")
+        if k == 1:
+            return self
+        if self.is_point:
+            return NumericRV.point(self.lo * k)
+        xs, pdf = self.xs, self.pdf
+        for _ in range(k - 1):
+            xs, pdf = _convolve(xs, pdf, self.xs, self.pdf)
+        out = NumericRV.from_pdf(xs, pdf)
+        if grid_n is not None:
+            out = out.resampled(grid_n)
+        return out
+
+    def max_iid(self, k: int) -> "NumericRV":
+        """Distribution of the max of ``k`` independent copies of X (CDF^k)."""
+        if k < 1:
+            raise ValueError(f"k must be ≥ 1, got {k}")
+        if k == 1 or self.is_point:
+            return self
+        f = self.cdf_values() ** k
+        pdf = np.gradient(f, self.xs)
+        return NumericRV.from_pdf(self.xs, pdf)
+
+    def resampled(self, grid_n: int) -> "NumericRV":
+        """Refit onto a fresh uniform grid of ``grid_n`` points."""
+        if self.is_point:
+            return self
+        return NumericRV.from_pdf(self.xs, self.pdf, grid_n=grid_n)
+
+    @staticmethod
+    def max_of(rvs: "Iterable[NumericRV]", grid_n: int | None = None) -> "NumericRV":
+        """Maximum of several independent RVs.
+
+        Computed as a *single* N-way CDF product on a shared fine grid —
+        folding pairwise would resample (and thus slightly diffuse) the
+        density once per operand, a bias that compounds badly on the
+        high-in-degree joins of dense DAGs.
+
+        Point masses contribute a floor constant: mass below the floor
+        collapses onto it and is represented as extra density in the first
+        grid cell (an approximation documented in DESIGN.md; it only occurs
+        when a deterministic ready time cuts a finish distribution).
+        """
+        rvs = list(rvs)
+        if not rvs:
+            raise ValueError("max_of() requires at least one RV")
+        floor = -np.inf
+        continuous: list[NumericRV] = []
+        for rv in rvs:
+            if rv.is_point:
+                floor = max(floor, rv.lo)
+            else:
+                continuous.append(rv)
+        if not continuous:
+            return NumericRV.point(floor)
+        if len(continuous) == 1 and floor <= continuous[0].lo:
+            return continuous[0]
+        if grid_n is None:
+            grid_n = max(len(rv.xs) for rv in continuous)
+        lo = max(max(rv.lo for rv in continuous), floor)
+        hi = max(rv.hi for rv in continuous)
+        if hi <= max(floor, lo):
+            return NumericRV.point(max(floor, lo))
+        # The evaluation grid must resolve the *narrowest* operand, not just
+        # the union support — otherwise a tight distribution inside a wide
+        # one is stepped over and its CDF contribution mangled.
+        min_dx = min(rv.dx for rv in continuous)
+        fine = int(min(max(4 * grid_n, np.ceil((hi - lo) / min_dx) + 1), 8192))
+        xs = np.linspace(lo, hi, fine)
+        f = np.ones(fine)
+        for rv in continuous:
+            f *= np.asarray(rv.cdf(xs))
+        pdf = np.clip(np.gradient(f, xs), 0.0, None)
+        atom_mass = float(f[0])
+        if atom_mass > 1e-12:
+            # P(max ≤ lo) > 0: an atom at the floor.  Normalize the
+            # continuous part to carry mass (1 − atom), downsample to the
+            # final grid, and only then pile the atom into the first cell
+            # (trapezoid weight dx/2) — adding the spike before the final
+            # resample would rescale its mass by the grid-step ratio.
+            xs, pdf = _trim_tails(xs, pdf, left=False)
+            out_xs = np.linspace(xs[0], xs[-1], grid_n)
+            out_pdf = resample_pdf(xs, pdf, out_xs)
+            dx = out_xs[1] - out_xs[0]
+            total = float(np.trapezoid(out_pdf, dx=dx))
+            if total > 0.0:
+                out_pdf *= (1.0 - atom_mass) / total
+            out_pdf[0] += 2.0 * atom_mass / dx
+            return NumericRV(out_xs, out_pdf)
+        xs, pdf = _trim_tails(xs, pdf)
+        return NumericRV.from_pdf(xs, pdf, grid_n=grid_n)
+
+
+def _trim_tails(
+    xs: np.ndarray,
+    pdf: np.ndarray,
+    eps: float = _TAIL_EPS,
+    left: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop leading/trailing grid cells carrying < ``eps`` probability mass."""
+    if len(xs) < 3:
+        return xs, pdf
+    dx = xs[1] - xs[0]
+    cdf = cumulative(pdf, dx)
+    total = cdf[-1]
+    if total <= 0.0:
+        return xs, pdf
+    lo_idx = int(np.searchsorted(cdf, eps * total, side="left")) if left else 1
+    hi_idx = int(np.searchsorted(cdf, (1.0 - eps) * total, side="right"))
+    lo_idx = max(lo_idx - 1, 0)
+    hi_idx = min(hi_idx + 1, len(xs) - 1)
+    if hi_idx - lo_idx < 2:
+        lo_idx = max(min(lo_idx, len(xs) - 3), 0)
+        hi_idx = min(lo_idx + 2, len(xs) - 1)
+    return xs[lo_idx : hi_idx + 1], pdf[lo_idx : hi_idx + 1]
+
+
+def _convolve(
+    xs_a: np.ndarray, pdf_a: np.ndarray, xs_b: np.ndarray, pdf_b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convolve two uniformly sampled PDFs, returning (xs, pdf) samples.
+
+    Both inputs are resampled to a common step (the finer of the two, coarsened
+    if the joint support would exceed ``_MAX_CONV_POINTS``).
+    """
+    dx_a = xs_a[1] - xs_a[0]
+    dx_b = xs_b[1] - xs_b[0]
+    dx = min(dx_a, dx_b)
+    width_a = xs_a[-1] - xs_a[0]
+    width_b = xs_b[-1] - xs_b[0]
+    n_out = (width_a + width_b) / dx
+    if n_out > _MAX_CONV_POINTS:
+        dx = (width_a + width_b) / _MAX_CONV_POINTS
+    # Both grids must share the *exact* same step for the convolution axis to
+    # be consistent, so build them with arange (the last point may overshoot
+    # the support slightly; the density is zero there).
+    n_a = max(int(np.ceil(width_a / dx)) + 1, 2)
+    n_b = max(int(np.ceil(width_b / dx)) + 1, 2)
+    grid_a = xs_a[0] + dx * np.arange(n_a)
+    grid_b = xs_b[0] + dx * np.arange(n_b)
+    ya = resample_pdf(xs_a, pdf_a, grid_a)
+    yb = resample_pdf(xs_b, pdf_b, grid_b)
+    conv = np.convolve(ya, yb) * dx
+    out_xs = (xs_a[0] + xs_b[0]) + dx * np.arange(len(conv))
+    return out_xs, conv

@@ -1,0 +1,11 @@
+"""Small shared utilities (RNG handling, validation, text tables)."""
+
+from repro.util.rng import as_generator, spawn_generators
+from repro.util.tables import format_matrix, format_table
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "format_matrix",
+    "format_table",
+]

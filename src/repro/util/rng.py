@@ -1,0 +1,47 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic entry point in :mod:`repro` accepts either an integer seed,
+``None`` (fresh OS entropy) or a :class:`numpy.random.Generator`.  These
+helpers normalise that convention and derive statistically independent child
+generators for sub-experiments, so a whole experiment suite is reproducible
+from one integer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators"]
+
+
+def as_generator(seed: int | None | np.random.Generator) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an existing generator (returned as-is), an integer, or
+    ``None`` for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(
+    seed: int | None | np.random.Generator, n: int
+) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``seed``.
+
+    Children are derived with :class:`numpy.random.SeedSequence` spawning so
+    that streams do not overlap, regardless of how many draws each child
+    makes.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    if isinstance(seed, np.random.Generator):
+        # Spawn through the generator's bit generator seed sequence.
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+        children: Sequence[np.random.SeedSequence] = seq.spawn(n)
+    else:
+        children = np.random.SeedSequence(seed).spawn(n)
+    return [np.random.default_rng(child) for child in children]

@@ -1,0 +1,93 @@
+"""Classical (independence-assumption) makespan evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import classical_makespan, sample_makespans
+from repro.analysis.classical import classical_task_finishes, disjunctive_sinks
+from repro.dag import TaskGraph, chain_dag
+from repro.platform import Platform, Workload
+from repro.schedule import Schedule, heft, random_schedule
+from repro.stochastic import StochasticModel
+
+
+def _single_proc_workload(graph, durations):
+    comp = np.asarray(durations, dtype=float)[:, None]
+    return Workload(graph, Platform.uniform(1), comp)
+
+
+class TestChainExactness:
+    def test_chain_is_exact_sum(self, model):
+        # On a chain the makespan is a pure sum: classical is exact.
+        g = chain_dag(5)
+        w = _single_proc_workload(g, [10.0, 20.0, 15.0, 5.0, 30.0])
+        s = Schedule.from_proc_orders(w, [0] * 5, [(0, 1, 2, 3, 4)])
+        rv = classical_makespan(s, model)
+        total = 80.0
+        assert rv.mean() == pytest.approx(float(model.mean(total)), rel=1e-3)
+        assert rv.var() == pytest.approx(
+            sum(float(model.var(d)) for d in [10, 20, 15, 5, 30]), rel=0.05
+        )
+
+    def test_deterministic_model_gives_point(self):
+        g = chain_dag(3)
+        w = _single_proc_workload(g, [1.0, 2.0, 3.0])
+        s = Schedule.from_proc_orders(w, [0] * 3, [(0, 1, 2)])
+        rv = classical_makespan(s, StochasticModel(ul=1.0))
+        assert rv.is_point
+        assert rv.lo == pytest.approx(6.0)
+
+
+class TestAgainstMonteCarlo:
+    def test_small_case_close_to_mc(self, small_workload, model):
+        s = heft(small_workload)
+        rv = classical_makespan(s, model)
+        mc = sample_makespans(s, model, rng=0, n_realizations=50_000)
+        assert rv.mean() == pytest.approx(mc.mean(), rel=2e-3)
+        assert rv.std() == pytest.approx(mc.std(), rel=0.1)
+
+    def test_random_schedule_close_to_mc(self, small_workload, model):
+        s = random_schedule(small_workload, rng=3)
+        rv = classical_makespan(s, model)
+        mc = sample_makespans(s, model, rng=1, n_realizations=50_000)
+        assert rv.mean() == pytest.approx(mc.mean(), rel=5e-3)
+
+
+class TestStructure:
+    def test_task_finishes_ordering(self, small_workload, model):
+        s = heft(small_workload)
+        finishes = classical_task_finishes(s, model)
+        # Along any disjunctive edge the successor's mean finish is later.
+        dis = s.disjunctive()
+        for v in range(small_workload.n_tasks):
+            for u, _ in dis.preds[v]:
+                assert finishes[v].mean() > finishes[u].mean() - 1e-9
+
+    def test_sinks_are_last_per_proc_without_succ(self, small_workload, model):
+        s = heft(small_workload)
+        sinks = disjunctive_sinks(s)
+        for v in sinks:
+            assert not any(
+                v == u
+                for t in range(small_workload.n_tasks)
+                for u, _ in s.disjunctive().preds[t]
+            )
+
+    def test_makespan_dominates_all_finishes(self, small_workload, model):
+        s = heft(small_workload)
+        rv = classical_makespan(s, model)
+        finishes = classical_task_finishes(s, model)
+        assert rv.mean() >= max(f.mean() for f in finishes) - 1e-6
+
+    def test_cross_proc_comm_widens_distribution(self, model):
+        # Two tasks with a communication edge: placing them on different
+        # processors must add the comm RV into the makespan.
+        g = TaskGraph(2, [(0, 1, 10.0)])
+        comp = np.array([[5.0, 5.0], [5.0, 5.0]])
+        w = Workload(g, Platform.uniform(2, tau=1.0), comp)
+        same = Schedule.from_proc_orders(w, [0, 0], [(0, 1), ()])
+        cross = Schedule.from_proc_orders(w, [0, 1], [(0,), (1,)])
+        rv_same = classical_makespan(same, model)
+        rv_cross = classical_makespan(cross, model)
+        assert rv_cross.mean() == pytest.approx(rv_same.mean() + float(model.mean(10.0)), rel=1e-3)
+        assert rv_cross.var() > rv_same.var()

@@ -1,0 +1,68 @@
+"""KS and CM(area) CDF distances."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import cm_distance, ks_distance
+from repro.stochastic import NormalRV, beta_rv, point_rv, uniform_rv
+
+
+class TestKs:
+    def test_identical_is_zero(self):
+        rv = beta_rv(10.0, 12.0)
+        assert ks_distance(rv, rv) == pytest.approx(0.0, abs=1e-9)
+
+    def test_disjoint_supports_is_one(self):
+        a = uniform_rv(0.0, 1.0)
+        b = uniform_rv(5.0, 6.0)
+        assert ks_distance(a, b) == pytest.approx(1.0, abs=1e-6)
+
+    def test_symmetry(self):
+        a = beta_rv(0.0, 1.0)
+        b = uniform_rv(0.0, 1.0)
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a), abs=1e-12)
+
+    def test_bounded(self):
+        a = beta_rv(0.0, 2.0)
+        b = uniform_rv(1.0, 3.0)
+        assert 0.0 <= ks_distance(a, b) <= 1.0
+
+    def test_normal_vs_numeric(self):
+        n = NormalRV(10.0, 4.0)
+        assert ks_distance(n, n.to_numeric(grid_n=513)) < 5e-3
+
+    def test_against_samples(self):
+        rng = np.random.default_rng(0)
+        rv = uniform_rv(0.0, 1.0, grid_n=513)
+        samples = rng.uniform(0.0, 1.0, 100_000)
+        assert ks_distance(rv, samples) < 0.01
+
+    def test_known_shift_value(self):
+        # KS of U[0,1] vs U[0.5,1.5] is exactly 0.5.
+        a = uniform_rv(0.0, 1.0, grid_n=513)
+        b = uniform_rv(0.5, 1.5, grid_n=513)
+        assert ks_distance(a, b) == pytest.approx(0.5, abs=1e-2)
+
+
+class TestCm:
+    def test_identical_is_zero(self):
+        rv = beta_rv(10.0, 12.0)
+        assert cm_distance(rv, rv) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shift_gives_shift_area(self):
+        # ∫|F_a − F_b| dx for a pure shift equals the shift size.
+        a = uniform_rv(0.0, 1.0, grid_n=513)
+        b = uniform_rv(0.25, 1.25, grid_n=513)
+        assert cm_distance(a, b) == pytest.approx(0.25, abs=5e-3)
+
+    def test_point_masses(self):
+        assert cm_distance(point_rv(1.0), point_rv(3.0)) == pytest.approx(2.0, rel=1e-2)
+
+    def test_has_time_units(self):
+        # Scaling both distributions scales CM but not KS.
+        a = uniform_rv(0.0, 1.0, grid_n=257)
+        b = beta_rv(0.0, 1.0, grid_n=257)
+        a10 = uniform_rv(0.0, 10.0, grid_n=257)
+        b10 = beta_rv(0.0, 10.0, grid_n=257)
+        assert cm_distance(a10, b10) == pytest.approx(10 * cm_distance(a, b), rel=0.02)
+        assert ks_distance(a10, b10) == pytest.approx(ks_distance(a, b), abs=0.01)

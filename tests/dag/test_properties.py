@@ -1,0 +1,96 @@
+"""Weighted level and critical-path computations."""
+
+import numpy as np
+import pytest
+
+from repro.dag import (
+    TaskGraph,
+    bottom_levels,
+    chain_dag,
+    critical_path,
+    fork_join_dag,
+    graph_levels,
+    top_levels,
+)
+from repro.dag.properties import cp_length
+
+
+@pytest.fixture
+def diamond():
+    return TaskGraph(4, [(0, 1, 1.0), (0, 2, 2.0), (1, 3, 1.0), (2, 3, 2.0)])
+
+
+class TestLevels:
+    def test_graph_levels_chain(self):
+        g = chain_dag(4)
+        assert list(graph_levels(g)) == [0, 1, 2, 3]
+
+    def test_graph_levels_diamond(self, diamond):
+        assert list(graph_levels(diamond)) == [0, 1, 1, 2]
+
+    def test_top_levels_exclude_own_duration(self, diamond):
+        dur = np.array([1.0, 2.0, 3.0, 4.0])
+        tl = top_levels(diamond, dur)
+        assert tl[0] == 0.0
+        # Tl(1) = Tl(0) + dur(0) + comm(0,1) = 0 + 1 + 0 (no comm lookup)
+        assert tl[1] == 1.0
+        assert tl[3] == max(tl[1] + 2.0, tl[2] + 3.0)
+
+    def test_bottom_levels_include_own_duration(self, diamond):
+        dur = np.array([1.0, 2.0, 3.0, 4.0])
+        bl = bottom_levels(diamond, dur)
+        assert bl[3] == 4.0
+        assert bl[1] == 2.0 + 4.0
+        assert bl[0] == 1.0 + max(bl[1], bl[2])
+
+    def test_with_communication(self, diamond):
+        dur = np.ones(4)
+        comm = {(0, 1): 10.0}
+        tl = top_levels(diamond, dur, comm)
+        assert tl[1] == 11.0
+        bl = bottom_levels(diamond, dur, comm)
+        assert bl[0] == 1.0 + max(10.0 + bl[1], bl[2])
+
+    def test_comm_callable(self, diamond):
+        dur = np.ones(4)
+        tl = top_levels(diamond, dur, lambda u, v: 5.0)
+        assert tl[3] == pytest.approx(1 + 5 + 1 + 5)
+
+    def test_shape_validation(self, diamond):
+        with pytest.raises(ValueError):
+            top_levels(diamond, np.ones(3))
+        with pytest.raises(ValueError):
+            bottom_levels(diamond, np.ones(5))
+
+
+class TestCriticalPath:
+    def test_cp_identity(self, diamond):
+        # max(Tl + Bl) over tasks equals max Bl over entries.
+        dur = np.array([1.0, 5.0, 2.0, 1.0])
+        tl = top_levels(diamond, dur)
+        bl = bottom_levels(diamond, dur)
+        assert cp_length(diamond, dur) == pytest.approx((tl + bl).max())
+
+    def test_cp_path_is_real_path(self, diamond):
+        dur = np.array([1.0, 5.0, 2.0, 1.0])
+        path = critical_path(diamond, dur)
+        assert path[0] in diamond.entry_tasks()
+        assert path[-1] in diamond.exit_tasks()
+        for u, v in zip(path, path[1:]):
+            assert diamond.has_edge(u, v)
+
+    def test_cp_selects_heavier_branch(self, diamond):
+        dur = np.array([1.0, 5.0, 2.0, 1.0])
+        assert 1 in critical_path(diamond, dur)
+        dur2 = np.array([1.0, 2.0, 5.0, 1.0])
+        assert 2 in critical_path(diamond, dur2)
+
+    def test_cp_length_chain_is_total(self):
+        g = chain_dag(5)
+        dur = np.arange(1.0, 6.0)
+        assert cp_length(g, dur) == pytest.approx(dur.sum())
+
+    def test_fork_join_cp(self):
+        g = fork_join_dag(3)
+        dur = np.array([1.0, 2.0, 7.0, 3.0, 1.0])
+        assert cp_length(g, dur) == pytest.approx(1 + 7 + 1)

@@ -1,0 +1,82 @@
+"""Case suite composition and scale resolution."""
+
+import pytest
+
+from repro.experiments import CaseSpec, build_workload, default_suite, get_scale
+from repro.experiments.scale import DEFAULT, PAPER, QUICK
+
+
+class TestScale:
+    def test_by_name(self):
+        assert get_scale("quick") is QUICK
+        assert get_scale("default") is DEFAULT
+        assert get_scale("paper") is PAPER
+
+    def test_passthrough(self):
+        assert get_scale(QUICK) is QUICK
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "default")
+        assert get_scale(None) is DEFAULT
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+    def test_n_random_buckets(self):
+        assert QUICK.n_random(10) == QUICK.n_random_small
+        assert QUICK.n_random(30) == QUICK.n_random_medium
+        assert QUICK.n_random(104) == QUICK.n_random_large
+
+    def test_paper_counts_match_paper(self):
+        assert PAPER.n_random(10) == 10_000
+        assert PAPER.n_random(100) == 2_000
+        assert PAPER.mc_realizations == 100_000
+
+
+class TestSuite:
+    def test_24_cases(self):
+        suite = default_suite()
+        assert len(suite) == 24
+
+    def test_composition(self):
+        suite = default_suite()
+        kinds = [s.kind for s in suite]
+        assert kinds.count("random") == 12
+        assert kinds.count("cholesky") == 6
+        assert kinds.count("ge") == 6
+
+    def test_all_at_most_104_tasks(self):
+        assert all(s.n_tasks <= 104 for s in default_suite())
+
+    def test_both_uls_present(self):
+        uls = {s.ul for s in default_suite()}
+        assert uls == {1.01, 1.1}
+
+    def test_unique_names(self):
+        names = [s.name for s in default_suite()]
+        assert len(set(names)) == len(names)
+
+    def test_proc_mapping(self):
+        assert CaseSpec("cholesky", 3, 1.1).m == 3
+        assert CaseSpec("random", 30, 1.1).m == 8
+        assert CaseSpec("ge", 13, 1.1).m == 16
+
+    def test_seed_stable_across_processes(self):
+        # CRC-based, not hash()-based.
+        assert CaseSpec("random", 10, 1.01).seed(0) == CaseSpec("random", 10, 1.01).seed(0)
+        assert CaseSpec("random", 10, 1.01).seed(0) != CaseSpec("random", 10, 1.01).seed(1)
+
+    def test_build_workload_matches_spec(self):
+        spec = CaseSpec("cholesky", 5, 1.1)
+        w = build_workload(spec)
+        assert w.n_tasks == spec.n_tasks
+        assert w.m == spec.m
+
+    def test_build_workload_deterministic(self):
+        spec = CaseSpec("ge", 7, 1.01)
+        import numpy as np
+
+        a = build_workload(spec, base_seed=3)
+        b = build_workload(spec, base_seed=3)
+        assert np.array_equal(a.comp, b.comp)

@@ -1,0 +1,39 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_fig7_runs(self, capsys):
+        assert main(["fig7", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out
+        assert "done in" in out
+
+    def test_fig9_runs(self, capsys):
+        assert main(["fig9", "--scale", "quick"]) == 0
+        assert "Fig. 9" in capsys.readouterr().out
+
+    def test_output_file(self, capsys, tmp_path):
+        out = tmp_path / "report.txt"
+        assert main(["fig7", "--output", str(out)]) == 0
+        assert "Fig. 7" in out.read_text()
+
+    def test_csv_dir_for_panel_figures(self, capsys, tmp_path, monkeypatch):
+        # fig3 at quick scale is a second or two; dump its panel CSV.
+        csv_dir = tmp_path / "csv"
+        assert main(["fig3", "--csv-dir", str(csv_dir)]) == 0
+        files = list(csv_dir.iterdir())
+        assert len(files) == 1
+        assert files[0].name == "fig3_panel.csv"
+        assert files[0].read_text().startswith("label,makespan")
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig7", "--scale", "enormous"])

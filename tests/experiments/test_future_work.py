@@ -1,0 +1,67 @@
+"""Future-work extension experiments (§VIII)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import sample_makespans
+from repro.experiments import ext_future_work
+from repro.experiments.scale import Scale
+from repro.platform import random_workload
+from repro.schedule import heft
+from repro.stochastic import StochasticModel
+
+TINY = Scale(
+    name="tiny",
+    n_random_small=40,
+    n_random_medium=20,
+    n_random_large=8,
+    mc_realizations=2_000,
+    grid_n=65,
+    fig1_sizes=(10,),
+    fig8_max_sum=5,
+)
+
+
+class TestVariableUlSampling:
+    def test_shape_validation(self):
+        w = random_workload(10, 3, rng=0)
+        s = heft(w)
+        model = StochasticModel(ul=1.5)
+        with pytest.raises(ValueError):
+            sample_makespans(s, model, rng=0, task_ul=np.ones(5))
+        with pytest.raises(ValueError):
+            sample_makespans(s, model, rng=0, task_ul=np.full(10, 0.9))
+
+    def test_all_low_ul_is_nearly_deterministic(self):
+        w = random_workload(10, 3, rng=1)
+        s = heft(w)
+        model = StochasticModel(ul=1.5)
+        ms = sample_makespans(
+            s, model, rng=0, n_realizations=2000, task_ul=np.ones(10)
+        )
+        # Tasks deterministic; only communications fluctuate.
+        full = sample_makespans(s, model, rng=0, n_realizations=2000)
+        assert ms.std() < full.std()
+
+    def test_high_ul_tasks_dominate_variance(self):
+        w = random_workload(10, 3, rng=2)
+        s = heft(w)
+        model = StochasticModel(ul=1.5)
+        uls = np.full(10, 1.5)
+        a = sample_makespans(s, model, rng=3, n_realizations=4000, task_ul=uls)
+        b = sample_makespans(s, model, rng=3, n_realizations=4000)
+        assert a.mean() == pytest.approx(b.mean(), rel=5e-3)
+        assert a.std() == pytest.approx(b.std(), rel=0.1)
+
+
+class TestExtExperiments:
+    def test_pareto_runs(self):
+        res = ext_future_work.run_pareto(TINY, n_tasks=12, m=3)
+        assert np.isfinite(res.corr_all)
+        assert len(res.pareto_indices) >= 1
+        assert "Pareto" in res.render()
+
+    def test_variable_ul_weakens_correlation(self):
+        res = ext_future_work.run_variable_ul(TINY, n_tasks=15, m=3)
+        assert res.corr_variable < res.corr_fixed
+        assert "variable" in res.render()

@@ -1,0 +1,72 @@
+"""Cost-matrix generators (CV-Gamma and real-app uniform recipes)."""
+
+import numpy as np
+import pytest
+
+from repro.platform import cv_gamma_costs, uniform_costs
+
+
+class TestCvGamma:
+    def test_shape(self):
+        c = cv_gamma_costs(30, 8, rng=0)
+        assert c.shape == (30, 8)
+        assert np.all(c > 0)
+
+    def test_mean_calibration(self):
+        c = cv_gamma_costs(3000, 4, rng=1, mu_task=20.0)
+        assert c.mean() == pytest.approx(20.0, rel=0.05)
+
+    def test_task_heterogeneity(self):
+        # With v_task high and v_mach 0, rows are constant but differ.
+        c = cv_gamma_costs(50, 4, rng=2, v_task=1.0, v_mach=0.0)
+        assert np.allclose(c, c[:, [0]])
+        assert np.std(c[:, 0]) > 0
+
+    def test_machine_heterogeneity(self):
+        # With v_task 0 and v_mach high, all rows share the same distribution.
+        c = cv_gamma_costs(2000, 3, rng=3, v_task=0.0, v_mach=0.5)
+        cv = c.std(axis=1).mean() / c.mean()
+        assert 0.3 < cv < 0.7
+
+    def test_fully_deterministic(self):
+        c = cv_gamma_costs(5, 3, rng=4, v_task=0.0, v_mach=0.0, mu_task=7.0)
+        assert np.allclose(c, 7.0)
+
+    def test_paper_cv_targets(self):
+        # V_task = V_mach = 0.5: per-row CV around 0.5 on average.
+        c = cv_gamma_costs(4000, 8, rng=5, v_task=0.5, v_mach=0.5)
+        row_cv = (c.std(axis=1) / c.mean(axis=1)).mean()
+        assert row_cv == pytest.approx(0.5, abs=0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            cv_gamma_costs(0, 3)
+        with pytest.raises(ValueError):
+            cv_gamma_costs(3, 3, mu_task=0.0)
+        with pytest.raises(ValueError):
+            cv_gamma_costs(3, 3, v_task=-0.5)
+
+
+class TestUniformCosts:
+    def test_range_invariant(self):
+        # Every cost lies in [minVal, 2·minVal] for some minVal in [lo, hi]:
+        # globally within [min_lo, 2·min_hi].
+        c = uniform_costs(100, 5, rng=0, min_lo=10.0, min_hi=20.0)
+        assert c.min() >= 10.0
+        assert c.max() <= 40.0
+
+    def test_row_spread_at_most_2x(self):
+        c = uniform_costs(200, 8, rng=1)
+        ratio = c.max(axis=1) / c.min(axis=1)
+        assert np.all(ratio <= 2.0 + 1e-9)
+
+    def test_determinism(self):
+        a = uniform_costs(10, 3, rng=9)
+        b = uniform_costs(10, 3, rng=9)
+        assert np.array_equal(a, b)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            uniform_costs(5, 2, min_lo=20.0, min_hi=10.0)
+        with pytest.raises(ValueError):
+            uniform_costs(5, 2, min_lo=0.0, min_hi=1.0)

@@ -1,0 +1,77 @@
+"""Platform matrices and communication-time formula."""
+
+import numpy as np
+import pytest
+
+from repro.platform import Platform
+
+
+class TestValidation:
+    def test_uniform_factory(self):
+        p = Platform.uniform(4, tau=2.0, latency=1.0)
+        assert p.m == 4
+        assert p.tau[0, 1] == 2.0
+        assert p.tau[0, 0] == 0.0
+        assert p.latency[2, 3] == 1.0
+        assert p.latency[1, 1] == 0.0
+
+    def test_rejects_nonzero_diagonal(self):
+        tau = np.ones((2, 2))
+        with pytest.raises(ValueError, match="diagonal"):
+            Platform(tau)
+
+    def test_rejects_negative_entries(self):
+        tau = np.array([[0.0, -1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            Platform(tau)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            Platform(np.zeros((2, 3)))
+
+    def test_rejects_mismatched_latency(self):
+        tau = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            Platform(tau, np.zeros((3, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Platform.uniform(0)
+
+
+class TestCommTime:
+    def test_same_processor_is_free(self):
+        p = Platform.uniform(3, tau=2.0, latency=5.0)
+        assert p.comm_time(100.0, 1, 1) == 0.0
+
+    def test_formula(self):
+        p = Platform.uniform(3, tau=2.0, latency=5.0)
+        assert p.comm_time(10.0, 0, 1) == pytest.approx(5.0 + 10.0 * 2.0)
+
+    def test_means_over_distinct_pairs(self):
+        p = Platform.uniform(4, tau=3.0, latency=1.5)
+        assert p.mean_tau() == pytest.approx(3.0)
+        assert p.mean_latency() == pytest.approx(1.5)
+
+    def test_means_single_machine(self):
+        p = Platform.uniform(1)
+        assert p.mean_tau() == 0.0
+        assert p.mean_latency() == 0.0
+
+
+class TestHeterogeneous:
+    def test_spread_and_symmetry(self):
+        p = Platform.heterogeneous(5, rng=0, tau_mean=1.0, tau_spread=0.5)
+        off = p.tau[~np.eye(5, dtype=bool)]
+        assert off.min() >= 0.5 - 1e-9
+        assert off.max() <= 1.5 + 1e-9
+        assert np.allclose(p.tau, p.tau.T)
+
+    def test_determinism(self):
+        a = Platform.heterogeneous(4, rng=3)
+        b = Platform.heterogeneous(4, rng=3)
+        assert np.array_equal(a.tau, b.tau)
+
+    def test_invalid_spread(self):
+        with pytest.raises(ValueError):
+            Platform.heterogeneous(3, tau_spread=1.0)

@@ -1,0 +1,72 @@
+"""Workload binding and the paper's workload factories."""
+
+import numpy as np
+import pytest
+
+from repro.dag import TaskGraph
+from repro.platform import (
+    Platform,
+    Workload,
+    cholesky_workload,
+    ge_workload,
+    random_workload,
+    workload_for_graph,
+)
+
+
+class TestWorkload:
+    def test_shape_validation(self):
+        g = TaskGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        with pytest.raises(ValueError):
+            Workload(g, Platform.uniform(2), np.ones((3, 3)))
+
+    def test_rejects_negative_costs(self):
+        g = TaskGraph(2, [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            Workload(g, Platform.uniform(2), np.array([[1.0, -1.0], [1.0, 1.0]]))
+
+    def test_comm_time(self):
+        g = TaskGraph(2, [(0, 1, 4.0)])
+        w = Workload(g, Platform.uniform(2, tau=2.0, latency=1.0), np.ones((2, 2)))
+        assert w.comm_time(0, 1, 0, 1) == pytest.approx(1.0 + 8.0)
+        assert w.comm_time(0, 1, 1, 1) == 0.0
+
+    def test_mean_helpers(self):
+        g = TaskGraph(2, [(0, 1, 4.0)])
+        comp = np.array([[1.0, 3.0], [2.0, 4.0]])
+        w = Workload(g, Platform.uniform(2, tau=2.0), comp)
+        assert w.mean_duration(0) == 2.0
+        assert np.allclose(w.mean_durations(), [2.0, 3.0])
+        assert w.mean_comm_time(0, 1) == pytest.approx(8.0)
+
+
+class TestFactories:
+    def test_random_workload_dimensions(self):
+        w = random_workload(25, 6, rng=0)
+        assert w.n_tasks == 25
+        assert w.m == 6
+        w.validate()
+
+    def test_random_workload_determinism(self):
+        a = random_workload(15, 4, rng=5)
+        b = random_workload(15, 4, rng=5)
+        assert np.array_equal(a.comp, b.comp)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_cholesky_workload(self):
+        w = cholesky_workload(3, 3, rng=1)
+        assert w.n_tasks == 10
+        assert w.m == 3
+
+    def test_ge_workload(self):
+        w = ge_workload(14, 16, rng=1)
+        assert w.n_tasks == 104
+        assert w.m == 16
+
+    def test_workload_for_graph_cost_recipe(self):
+        g = TaskGraph(50, [(i, i + 1, 1.0) for i in range(49)])
+        w = workload_for_graph(g, 4, rng=2, min_lo=10.0, min_hi=20.0)
+        assert w.comp.min() >= 10.0
+        assert w.comp.max() <= 40.0
+        ratio = w.comp.max(axis=1) / w.comp.min(axis=1)
+        assert np.all(ratio <= 2.0 + 1e-9)

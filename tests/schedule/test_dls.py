@@ -1,0 +1,62 @@
+"""DLS / GDL dynamic level scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.platform import random_workload
+from repro.schedule import dls, heft, random_schedules
+from repro.schedule.dls import static_levels
+
+
+class TestStaticLevels:
+    def test_exit_level_is_own_mean_cost(self, diamond_workload):
+        sl = static_levels(diamond_workload)
+        assert sl[3] == pytest.approx(diamond_workload.mean_duration(3))
+
+    def test_monotone_along_edges(self, medium_workload):
+        sl = static_levels(medium_workload)
+        for u, v, _ in medium_workload.graph.edges():
+            assert sl[u] > sl[v]
+
+    def test_no_communication_term(self, diamond_workload):
+        # SL sums only computation: entry SL = own + max child chain.
+        sl = static_levels(diamond_workload)
+        w = diamond_workload.mean_durations()
+        assert sl[0] == pytest.approx(w[0] + max(sl[1], sl[2]))
+
+
+class TestDls:
+    def test_valid_schedules(self, small_workload, medium_workload, diamond_workload):
+        for w in (small_workload, medium_workload, diamond_workload):
+            dls(w).validate()
+
+    def test_deterministic(self, medium_workload):
+        a = dls(medium_workload)
+        b = dls(medium_workload)
+        assert np.array_equal(a.proc, b.proc)
+
+    def test_beats_random_median(self, medium_workload):
+        d = dls(medium_workload).makespan
+        rand = sorted(s.makespan for s in random_schedules(medium_workload, 20, rng=4))
+        assert d < rand[len(rand) // 2]
+
+    def test_competitive_with_heft(self, medium_workload):
+        # DLS is usually within a modest factor of HEFT on these workloads.
+        assert dls(medium_workload).makespan <= 1.5 * heft(medium_workload).makespan
+
+    def test_prefers_fast_processor_via_delta(self):
+        # Two machines, machine 1 is uniformly 3× slower: DLS must place
+        # every task on machine 0 (Δ term) in the absence of contention.
+        from repro.dag import chain_dag
+        from repro.platform import Platform, Workload
+
+        g = chain_dag(4)
+        comp = np.array([[1.0, 3.0]] * 4)
+        w = Workload(g, Platform.uniform(2), comp)
+        s = dls(w)
+        assert np.all(s.proc == 0)
+
+    def test_exercises_parallelism(self):
+        w = random_workload(40, 4, rng=6)
+        s = dls(w)
+        assert len(np.unique(s.proc)) > 1

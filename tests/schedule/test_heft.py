@@ -1,0 +1,63 @@
+"""HEFT, including the canonical Topcuoglu validation example."""
+
+import numpy as np
+import pytest
+
+from repro.schedule import heft
+from repro.schedule.heft import upward_ranks
+
+
+class TestCanonicalExample:
+    def test_topcuoglu_makespan_is_80(self, topcuoglu_workload):
+        # The HEFT paper's worked example: insertion-based HEFT → 80.
+        s = heft(topcuoglu_workload)
+        s.validate()
+        assert s.makespan == pytest.approx(80.0)
+
+    def test_topcuoglu_ranks_decreasing_along_edges(self, topcuoglu_workload):
+        ranks = upward_ranks(topcuoglu_workload)
+        for u, v, _ in topcuoglu_workload.graph.edges():
+            assert ranks[u] > ranks[v]
+
+    def test_topcuoglu_entry_rank_highest(self, topcuoglu_workload):
+        ranks = upward_ranks(topcuoglu_workload)
+        assert np.argmax(ranks) == 0
+
+    def test_insertion_no_worse_than_append(self, topcuoglu_workload):
+        with_ins = heft(topcuoglu_workload, insertion=True)
+        without = heft(topcuoglu_workload, insertion=False)
+        assert with_ins.makespan <= without.makespan + 1e-9
+
+
+class TestOnGeneratedWorkloads:
+    def test_valid_schedule(self, medium_workload):
+        s = heft(medium_workload)
+        s.validate()
+        assert s.label == "HEFT"
+
+    def test_beats_random_population(self, medium_workload):
+        from repro.schedule import random_schedules
+
+        h = heft(medium_workload).makespan
+        rand = [s.makespan for s in random_schedules(medium_workload, 30, rng=5)]
+        assert h < min(rand), "HEFT should beat 30 random schedules"
+
+    def test_single_processor_collapses_to_sequence(self, small_workload):
+        import numpy as np
+
+        from repro.platform import Platform, Workload
+
+        w1 = Workload(
+            small_workload.graph,
+            Platform.uniform(1),
+            small_workload.comp[:, :1],
+        )
+        s = heft(w1)
+        s.validate()
+        assert s.makespan == pytest.approx(w1.comp[:, 0].sum())
+
+    def test_custom_cost_hooks(self, medium_workload):
+        # σ-HEFT style overrides must still produce valid schedules.
+        comp = medium_workload.comp * 1.5
+        s = heft(medium_workload, comp=comp, durations=comp.mean(axis=1))
+        s.validate()

@@ -1,0 +1,43 @@
+"""The paper's uniform random eager scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform import random_workload
+from repro.schedule import random_schedule, random_schedules
+
+
+class TestRandomSchedule:
+    def test_valid_eager_schedule(self, medium_workload):
+        s = random_schedule(medium_workload, rng=0)
+        s.validate()
+
+    def test_determinism(self, medium_workload):
+        a = random_schedule(medium_workload, rng=11)
+        b = random_schedule(medium_workload, rng=11)
+        assert np.array_equal(a.proc, b.proc)
+        assert a.orders == b.orders
+
+    def test_variety(self, medium_workload):
+        makespans = {random_schedule(medium_workload, rng=i).makespan for i in range(20)}
+        assert len(makespans) > 15, "random schedules should rarely collide"
+
+    def test_generator_counts(self, small_workload):
+        schedules = list(random_schedules(small_workload, 7, rng=1))
+        assert len(schedules) == 7
+        assert len({s.label for s in schedules}) == 7
+
+    def test_uses_all_processors_eventually(self, medium_workload):
+        procs = set()
+        for s in random_schedules(medium_workload, 10, rng=2):
+            procs.update(np.unique(s.proc).tolist())
+        assert procs == set(range(medium_workload.m))
+
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_always_valid(self, n, seed):
+        w = random_workload(n, 3, rng=seed)
+        s = random_schedule(w, rng=seed + 1)
+        s.validate()

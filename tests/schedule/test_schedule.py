@@ -1,0 +1,116 @@
+"""Schedule construction, validation and the disjunctive graph."""
+
+import numpy as np
+import pytest
+
+from repro.dag import TaskGraph
+from repro.platform import Platform, Workload
+from repro.schedule import Schedule
+from repro.schedule.disjunctive import DisjunctiveGraph
+
+
+@pytest.fixture
+def wl():
+    g = TaskGraph(4, [(0, 1, 2.0), (0, 2, 2.0), (1, 3, 2.0), (2, 3, 2.0)])
+    comp = np.array([[2.0, 3.0], [4.0, 2.0], [3.0, 3.0], [2.0, 2.0]])
+    return Workload(g, Platform.uniform(2, tau=1.0), comp)
+
+
+class TestFromProcOrders:
+    def test_basic_times(self, wl):
+        s = Schedule.from_proc_orders(wl, [0, 0, 1, 0], [(0, 1, 3), (2,)])
+        # t0 on p0: [0,2]; t1 on p0: [2,6]; t2 on p1: starts after comm 2+2=4 → [4,7]
+        # t3 on p0: max(finish1=6, finish2+comm=7+2=9) = 9 → [9,11]
+        assert s.start[0] == 0.0
+        assert s.finish[1] == 6.0
+        assert s.start[2] == 4.0
+        assert s.start[3] == 9.0
+        assert s.makespan == 11.0
+        s.validate()
+
+    def test_same_proc_comm_free(self, wl):
+        s = Schedule.from_proc_orders(wl, [0, 0, 0, 0], [(0, 1, 2, 3), ()])
+        # all sequential on p0: 2 + 4 + 3 + 2 = 11, no comm
+        assert s.makespan == 11.0
+
+    def test_assignment_order_mismatch_rejected(self, wl):
+        with pytest.raises(ValueError):
+            Schedule.from_proc_orders(wl, [0, 0, 1, 0], [(0, 1), (2, 3)])
+
+    def test_missing_task_rejected(self, wl):
+        with pytest.raises(ValueError):
+            Schedule.from_proc_orders(wl, [0, 0, 1, 0], [(0, 1), (2,)])
+
+    def test_duplicate_task_rejected(self, wl):
+        with pytest.raises(ValueError):
+            Schedule.from_proc_orders(wl, [0, 0, 1, 0], [(0, 1, 3, 1), (2,)])
+
+    def test_order_contradicting_precedence_rejected(self, wl):
+        # Task 3 before its predecessor 1 on the same processor → cycle.
+        with pytest.raises(ValueError, match="cycle|contradict"):
+            Schedule.from_proc_orders(wl, [0, 0, 1, 0], [(0, 3, 1), (2,)])
+
+    def test_proc_out_of_range_rejected(self, wl):
+        with pytest.raises(ValueError):
+            Schedule.from_proc_orders(wl, [0, 0, 5, 0], [(0, 1, 3), (2,)])
+
+
+class TestFromAssignmentSequence:
+    def test_equivalent_to_proc_orders(self, wl):
+        a = Schedule.from_assignment_sequence(wl, [(0, 0), (1, 0), (2, 1), (3, 0)])
+        b = Schedule.from_proc_orders(wl, [0, 0, 1, 0], [(0, 1, 3), (2,)])
+        assert np.allclose(a.start, b.start)
+        assert a.orders == b.orders
+
+    def test_double_scheduling_rejected(self, wl):
+        with pytest.raises(ValueError):
+            Schedule.from_assignment_sequence(wl, [(0, 0), (0, 1), (1, 0), (2, 0)])
+
+    def test_incomplete_rejected(self, wl):
+        with pytest.raises(ValueError):
+            Schedule.from_assignment_sequence(wl, [(0, 0), (1, 0)])
+
+
+class TestQueries:
+    def test_min_durations(self, wl):
+        s = Schedule.from_proc_orders(wl, [0, 1, 0, 1], [(0, 2), (1, 3)])
+        assert np.allclose(s.min_durations(), [2.0, 2.0, 3.0, 2.0])
+
+    def test_comm_edges_only_cross_proc(self, wl):
+        s = Schedule.from_proc_orders(wl, [0, 0, 1, 0], [(0, 1, 3), (2,)])
+        edges = dict(((u, v), c) for u, v, c in s.comm_edges())
+        assert (0, 1) not in edges  # same processor
+        assert edges[(0, 2)] == pytest.approx(2.0)
+        assert edges[(2, 3)] == pytest.approx(2.0)
+
+    def test_validate_catches_tampered_times(self, wl):
+        s = Schedule.from_proc_orders(wl, [0, 0, 1, 0], [(0, 1, 3), (2,)])
+        s.start.flags.writeable = True
+        s.start[3] = 0.0
+        with pytest.raises(ValueError):
+            s.validate()
+
+
+class TestDisjunctiveGraph:
+    def test_adds_processor_edges(self, wl):
+        dis = DisjunctiveGraph.build(wl.graph, [(0, 1, 3), (2,)])
+        preds3 = {u for u, _ in dis.preds[3]}
+        assert preds3 == {1, 2}
+        # (1, 3) is already an application edge, so no duplicate None edge.
+        kinds = [vol for u, vol in dis.preds[3] if u == 1]
+        assert kinds == [2.0]
+
+    def test_pure_proc_edge_has_none_volume(self, wl):
+        dis = DisjunctiveGraph.build(wl.graph, [(0, 2, 1, 3), ()])
+        vol_21 = [vol for u, vol in dis.preds[1] if u == 2]
+        assert vol_21 == [None]
+
+    def test_topo_covers_all(self, wl):
+        dis = DisjunctiveGraph.build(wl.graph, [(0, 1, 3), (2,)])
+        assert sorted(dis.topo.tolist()) == [0, 1, 2, 3]
+
+    def test_partition_enforced(self, wl):
+        with pytest.raises(ValueError):
+            DisjunctiveGraph.build(wl.graph, [(0, 1), (1, 2, 3)])
+        with pytest.raises(ValueError):
+            DisjunctiveGraph.build(wl.graph, [(0, 1), (2,)])

@@ -1,0 +1,100 @@
+"""Schedule signatures (§V collision remark) and structural edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.dag import TaskGraph, join_dag, fork_dag
+from repro.platform import Platform, Workload, workload_for_graph
+from repro.schedule import (
+    bil,
+    bmct,
+    cpop,
+    dls,
+    greedy_eft,
+    heft,
+    random_schedule,
+    random_schedules,
+)
+
+ALL = [heft, bil, bmct, cpop, dls, greedy_eft]
+
+
+class TestSignatures:
+    def test_equal_for_identical_schedules(self, small_workload):
+        a = random_schedule(small_workload, rng=3)
+        b = random_schedule(small_workload, rng=3)
+        assert a.signature() == b.signature()
+
+    def test_hashable(self, small_workload):
+        s = heft(small_workload)
+        assert isinstance(hash(s.signature()), int)
+
+    def test_paper_collision_remark(self, small_workload):
+        # §V: "Even for the smallest graphs, the probability to get the same
+        # random schedule twice is not high" — on a 10-task / 3-proc case,
+        # hundreds of draws should be nearly collision-free.
+        signatures = [
+            s.signature() for s in random_schedules(small_workload, 300, rng=0)
+        ]
+        distinct = len(set(signatures))
+        assert distinct >= 295
+
+
+class TestMultiEntryExitGraphs:
+    @pytest.fixture
+    def join_workload(self):
+        # 6 independent entries feeding one sink: multiple entry tasks.
+        return workload_for_graph(join_dag(6, volume=1.0), 3, rng=5)
+
+    @pytest.fixture
+    def fork_workload(self):
+        # One entry, 6 exits: multiple exit tasks.
+        return workload_for_graph(fork_dag(6, volume=1.0), 3, rng=6)
+
+    @pytest.mark.parametrize("heuristic", ALL, ids=lambda f: f.__name__)
+    def test_all_heuristics_on_join(self, heuristic, join_workload):
+        heuristic(join_workload).validate()
+
+    @pytest.mark.parametrize("heuristic", ALL, ids=lambda f: f.__name__)
+    def test_all_heuristics_on_fork(self, heuristic, fork_workload):
+        heuristic(fork_workload).validate()
+
+    def test_makespan_covers_all_exits(self, fork_workload, model):
+        from repro.analysis import classical_makespan, sample_makespans
+
+        s = heft(fork_workload)
+        rv = classical_makespan(s, model)
+        mc = sample_makespans(s, model, rng=0, n_realizations=20_000)
+        assert rv.mean() == pytest.approx(mc.mean(), rel=5e-3)
+
+
+class TestDegenerateShapes:
+    def test_single_task_graph(self):
+        g = TaskGraph(1)
+        w = Workload(g, Platform.uniform(2), np.array([[3.0, 5.0]]))
+        for heuristic in ALL:
+            s = heuristic(w)
+            s.validate()
+            assert s.makespan == pytest.approx(3.0)  # fastest machine
+
+    def test_more_processors_than_tasks(self):
+        g = join_dag(2, volume=0.0)
+        w = Workload(g, Platform.uniform(8), np.full((3, 8), 2.0))
+        for heuristic in ALL:
+            s = heuristic(w)
+            s.validate()
+            # Two parallel branches + sink: makespan = 2 + 2 = 4.
+            assert s.makespan == pytest.approx(4.0)
+
+    def test_zero_cost_task(self, model):
+        # A zero-duration task must flow through every engine as a point.
+        g = TaskGraph(3, [(0, 1, 0.0), (1, 2, 0.0)])
+        comp = np.array([[1.0], [0.0], [2.0]])
+        w = Workload(g, Platform.uniform(1), comp)
+        from repro.schedule import Schedule
+
+        s = Schedule.from_proc_orders(w, [0, 0, 0], [(0, 1, 2)])
+        from repro.analysis import classical_makespan
+
+        rv = classical_makespan(s, model)
+        assert rv.mean() == pytest.approx(float(model.mean(3.0)), rel=1e-3)

@@ -1,0 +1,60 @@
+"""Timeline (per-processor slot bookkeeping for insertion scheduling)."""
+
+import pytest
+
+from repro.schedule._timeline import Timeline
+
+
+class TestTimeline:
+    def test_empty_available(self):
+        assert Timeline().available == 0.0
+
+    def test_append_order(self):
+        tl = Timeline()
+        tl.insert(1, 0.0, 5.0)
+        tl.insert(2, 5.0, 3.0)
+        assert tl.available == 8.0
+        assert tl.order() == [1, 2]
+
+    def test_earliest_start_append_mode(self):
+        tl = Timeline()
+        tl.insert(1, 0.0, 5.0)
+        assert tl.earliest_start(2.0, 1.0, insertion=False) == 5.0
+        assert tl.earliest_start(7.0, 1.0, insertion=False) == 7.0
+
+    def test_insertion_uses_gap(self):
+        tl = Timeline()
+        tl.insert(1, 0.0, 2.0)
+        tl.insert(2, 10.0, 2.0)
+        # A 3-unit task fits in the [2, 10] gap.
+        assert tl.earliest_start(0.0, 3.0, insertion=True) == 2.0
+        # A 9-unit task does not; it must go after task 2.
+        assert tl.earliest_start(0.0, 9.0, insertion=True) == 12.0
+
+    def test_insertion_respects_ready_time(self):
+        tl = Timeline()
+        tl.insert(1, 0.0, 2.0)
+        tl.insert(2, 10.0, 2.0)
+        assert tl.earliest_start(5.0, 3.0, insertion=True) == 5.0
+        assert tl.earliest_start(8.5, 3.0, insertion=True) == 12.0
+
+    def test_gap_before_first_slot(self):
+        tl = Timeline()
+        tl.insert(1, 5.0, 2.0)
+        assert tl.earliest_start(0.0, 4.0, insertion=True) == 0.0
+        assert tl.earliest_start(0.0, 6.0, insertion=True) == 7.0
+
+    def test_overlap_rejected(self):
+        tl = Timeline()
+        tl.insert(1, 0.0, 5.0)
+        with pytest.raises(ValueError):
+            tl.insert(2, 3.0, 1.0)
+        with pytest.raises(ValueError):
+            tl.insert(3, -1.0, 2.0)
+
+    def test_insert_into_gap_keeps_sorted_order(self):
+        tl = Timeline()
+        tl.insert(1, 0.0, 2.0)
+        tl.insert(2, 10.0, 2.0)
+        tl.insert(3, 4.0, 2.0)
+        assert tl.order() == [1, 3, 2]

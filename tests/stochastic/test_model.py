@@ -1,0 +1,117 @@
+"""StochasticModel: the UL/Beta uncertainty model."""
+
+import numpy as np
+import pytest
+
+from repro.stochastic import StochasticModel
+
+
+class TestValidation:
+    def test_rejects_ul_below_one(self):
+        with pytest.raises(ValueError):
+            StochasticModel(ul=0.9)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            StochasticModel(alpha=0.0)
+        with pytest.raises(ValueError):
+            StochasticModel(beta=-1.0)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            StochasticModel(grid_n=4)
+
+    def test_with_grid(self):
+        m = StochasticModel(ul=1.1).with_grid(33)
+        assert m.grid_n == 33
+        assert m.ul == 1.1
+
+
+class TestClosedForms:
+    def test_mean_formula(self):
+        m = StochasticModel(ul=1.1, alpha=2.0, beta=5.0)
+        # E[X] = w(1 + (UL−1)·α/(α+β)) = w(1 + 0.1·2/7)
+        assert float(m.mean(20.0)) == pytest.approx(20.0 * (1 + 0.1 * 2 / 7))
+
+    def test_var_formula(self):
+        m = StochasticModel(ul=1.1, alpha=2.0, beta=5.0)
+        spread = 0.1 * 20.0
+        beta_var = 10.0 / (49.0 * 8.0)
+        assert float(m.var(20.0)) == pytest.approx(spread**2 * beta_var)
+
+    def test_vectorized_moments(self):
+        m = StochasticModel(ul=1.2)
+        w = np.array([1.0, 2.0, 0.0])
+        assert np.asarray(m.mean(w)).shape == (3,)
+        assert float(np.asarray(m.var(w))[2]) == 0.0
+
+    def test_rv_matches_closed_forms(self):
+        m = StochasticModel(ul=1.1, grid_n=257)
+        rv = m.rv(20.0)
+        assert rv.mean() == pytest.approx(float(m.mean(20.0)), rel=1e-4)
+        assert rv.std() == pytest.approx(float(m.std(20.0)), rel=1e-2)
+
+    def test_normal_matches_closed_forms(self):
+        m = StochasticModel(ul=1.1)
+        n = m.normal(20.0)
+        assert n.mean == pytest.approx(float(m.mean(20.0)))
+        assert n.var == pytest.approx(float(m.var(20.0)))
+
+
+class TestRepresentations:
+    def test_rv_support(self):
+        m = StochasticModel(ul=1.5)
+        rv = m.rv(10.0)
+        assert rv.lo == pytest.approx(10.0)
+        assert rv.hi == pytest.approx(15.0)
+
+    def test_rv_zero_duration_is_point(self):
+        assert StochasticModel(ul=1.1).rv(0.0).is_point
+
+    def test_rv_deterministic_model_is_point(self):
+        rv = StochasticModel(ul=1.0).rv(10.0)
+        assert rv.is_point
+        assert rv.lo == 10.0
+
+    def test_rv_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StochasticModel().rv(-1.0)
+        with pytest.raises(ValueError):
+            StochasticModel().normal(-1.0)
+
+    def test_rv_scaling_consistency(self):
+        # rv(w) must equal rv(1) scaled by w (shared-shape model).
+        m = StochasticModel(ul=1.1)
+        a = m.rv(7.0)
+        b = m.rv(1.0).scale(7.0)
+        assert a.mean() == pytest.approx(b.mean())
+        assert a.lo == pytest.approx(b.lo)
+        assert a.hi == pytest.approx(b.hi)
+
+    def test_sample_within_support(self, rng):
+        m = StochasticModel(ul=1.3)
+        s = m.sample(10.0, rng, size=10_000)
+        assert np.all(s >= 10.0)
+        assert np.all(s <= 13.0)
+
+    def test_sample_moments(self, rng):
+        m = StochasticModel(ul=1.3)
+        s = m.sample(10.0, rng, size=200_000)
+        assert s.mean() == pytest.approx(float(m.mean(10.0)), rel=1e-3)
+        assert s.std() == pytest.approx(float(m.std(10.0)), rel=1e-2)
+
+    def test_sample_broadcast(self, rng):
+        m = StochasticModel(ul=1.1)
+        w = np.array([1.0, 2.0, 3.0])
+        s = m.sample(w, rng, size=(100, 3))
+        assert s.shape == (100, 3)
+        assert np.all(s >= w)
+
+    def test_sample_deterministic_model(self, rng):
+        m = StochasticModel(ul=1.0)
+        s = m.sample(np.array([1.0, 2.0]), rng, size=(5, 2))
+        assert np.all(s == np.array([1.0, 2.0]))
+
+    def test_sample_rejects_negative(self, rng):
+        with pytest.raises(ValueError):
+            StochasticModel().sample(-1.0, rng)

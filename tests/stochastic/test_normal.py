@@ -1,0 +1,132 @@
+"""NormalRV: Clark's equations and the closed-form metric helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic import NormalRV
+
+means = st.floats(min_value=-50.0, max_value=50.0)
+variances = st.floats(min_value=0.0, max_value=100.0)
+
+
+class TestBasics:
+    def test_point(self):
+        p = NormalRV.point(3.0)
+        assert p.mean == 3.0
+        assert p.var == 0.0
+        assert p.std == 0.0
+
+    def test_rejects_negative_variance(self):
+        with pytest.raises(ValueError):
+            NormalRV(0.0, -1.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            NormalRV(float("nan"), 1.0)
+        with pytest.raises(ValueError):
+            NormalRV(0.0, float("inf"))
+
+    def test_add(self):
+        s = NormalRV(3.0, 4.0) + NormalRV(5.0, 9.0)
+        assert s.mean == 8.0
+        assert s.var == 13.0
+
+    def test_add_scalar(self):
+        s = NormalRV(3.0, 4.0) + 2.0
+        assert s.mean == 5.0
+        assert s.var == 4.0
+
+
+class TestClarkMax:
+    def test_max_of_identical_normals_closed_form(self):
+        # E[max(X,Y)] = μ + σ/√π, Var = σ²(1 − 1/π) for iid N(μ, σ²).
+        m = NormalRV(5.0, 4.0).maximum(NormalRV(5.0, 4.0))
+        assert m.mean == pytest.approx(5.0 + 2.0 / math.sqrt(math.pi), rel=1e-9)
+        assert m.var == pytest.approx(4.0 * (1.0 - 1.0 / math.pi), rel=1e-9)
+
+    def test_max_with_dominated_deterministic(self):
+        x = NormalRV(10.0, 1.0)
+        m = x.maximum(NormalRV.point(0.0))
+        # P(X < 0) ≈ 0, so the max is essentially X.
+        assert m.mean == pytest.approx(10.0, abs=1e-6)
+        assert m.var == pytest.approx(1.0, rel=1e-4)
+
+    def test_max_of_two_points(self):
+        m = NormalRV.point(2.0).maximum(NormalRV.point(7.0))
+        assert m.mean == 7.0
+        assert m.var == 0.0
+
+    def test_max_against_monte_carlo(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(10.0, 2.0, 500_000)
+        b = rng.normal(11.0, 1.0, 500_000)
+        mc = np.maximum(a, b)
+        m = NormalRV(10.0, 4.0).maximum(NormalRV(11.0, 1.0))
+        assert m.mean == pytest.approx(mc.mean(), rel=1e-3)
+        assert math.sqrt(m.var) == pytest.approx(mc.std(), rel=5e-3)
+
+    def test_max_rejects_bad_rho(self):
+        with pytest.raises(ValueError):
+            NormalRV(0, 1).maximum(NormalRV(0, 1), rho=2.0)
+
+    def test_max_of_requires_input(self):
+        with pytest.raises(ValueError):
+            NormalRV.max_of([])
+
+    @given(means, variances, means, variances)
+    @settings(max_examples=50, deadline=None)
+    def test_max_dominates_means(self, m1, v1, m2, v2):
+        out = NormalRV(m1, v1).maximum(NormalRV(m2, v2))
+        assert out.mean >= max(m1, m2) - 1e-9
+        assert out.var >= -1e-12
+
+
+class TestMetricHelpers:
+    def test_entropy_closed_form(self):
+        n = NormalRV(0.0, 4.0)
+        assert n.entropy() == pytest.approx(0.5 * math.log(2 * math.pi * math.e * 4.0))
+
+    def test_entropy_of_point(self):
+        assert NormalRV.point(1.0).entropy() == float("-inf")
+
+    def test_lateness_closed_form(self):
+        # E[X | X > μ] − μ = σ√(2/π)
+        n = NormalRV(10.0, 9.0)
+        assert n.lateness() == pytest.approx(3.0 * math.sqrt(2.0 / math.pi))
+
+    def test_lateness_monte_carlo(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(0.0, 2.0, 1_000_000)
+        late = x[x > 0].mean()
+        assert NormalRV(0.0, 4.0).lateness() == pytest.approx(late, rel=5e-3)
+
+    def test_prob_within(self):
+        n = NormalRV(0.0, 1.0)
+        # P(|X| ≤ 1.96) ≈ 0.95
+        assert n.prob_within(1.96) == pytest.approx(0.95, abs=1e-3)
+        assert NormalRV.point(5.0).prob_within(0.1) == 1.0
+
+    def test_prob_within_rejects_negative(self):
+        with pytest.raises(ValueError):
+            NormalRV(0, 1).prob_within(-1.0)
+
+    def test_prob_within_factor(self):
+        n = NormalRV(100.0, 25.0)
+        # interval [100/γ, 100γ] with γ=1.1 → ±~10 = ±2σ
+        p = n.prob_within_factor(1.1)
+        assert 0.93 < p < 0.98
+        with pytest.raises(ValueError):
+            n.prob_within_factor(0.9)
+
+    def test_to_numeric_matches_moments(self):
+        n = NormalRV(10.0, 4.0)
+        rv = n.to_numeric(grid_n=513)
+        assert rv.mean() == pytest.approx(10.0, abs=1e-6)
+        assert rv.std() == pytest.approx(2.0, rel=1e-3)
+
+    def test_to_numeric_point(self):
+        assert NormalRV.point(2.0).to_numeric().is_point

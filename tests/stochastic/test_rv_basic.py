@@ -1,0 +1,148 @@
+"""Construction, queries and statistics of NumericRV."""
+
+import numpy as np
+import pytest
+
+from repro.stochastic import NumericRV, beta_rv, point_rv, uniform_rv
+
+
+class TestConstruction:
+    def test_point_mass(self):
+        p = NumericRV.point(3.5)
+        assert p.is_point
+        assert p.lo == p.hi == 3.5
+        assert p.mean() == 3.5
+        assert p.var() == 0.0
+
+    def test_point_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            NumericRV.point(float("nan"))
+        with pytest.raises(ValueError):
+            NumericRV.point(float("inf"))
+
+    def test_from_pdf_normalizes(self):
+        xs = np.linspace(0, 1, 11)
+        rv = NumericRV.from_pdf(xs, np.full(11, 7.0))
+        assert np.isclose(np.trapezoid(rv.pdf, rv.xs), 1.0)
+
+    def test_from_pdf_clips_negative_density(self):
+        xs = np.linspace(0, 1, 11)
+        pdf = np.ones(11)
+        pdf[3] = -5.0
+        rv = NumericRV.from_pdf(xs, pdf)
+        assert np.all(rv.pdf >= 0)
+
+    def test_from_pdf_rejects_nonuniform_grid(self):
+        xs = np.array([0.0, 1.0, 3.0])
+        with pytest.raises(ValueError, match="uniform"):
+            NumericRV.from_pdf(xs, np.ones(3))
+
+    def test_from_pdf_rejects_decreasing_grid(self):
+        with pytest.raises(ValueError):
+            NumericRV.from_pdf([1.0, 0.5, 0.0], np.ones(3))
+
+    def test_from_pdf_rejects_zero_mass(self):
+        xs = np.linspace(0, 1, 11)
+        with pytest.raises(ValueError):
+            NumericRV.from_pdf(xs, np.zeros(11))
+
+    def test_from_pdf_rejects_nan_density(self):
+        xs = np.linspace(0, 1, 11)
+        pdf = np.ones(11)
+        pdf[5] = np.nan
+        with pytest.raises(ValueError):
+            NumericRV.from_pdf(xs, pdf)
+
+    def test_from_pdf_resamples_to_grid_n(self):
+        xs = np.linspace(0, 1, 501)
+        rv = NumericRV.from_pdf(xs, np.ones(501), grid_n=65)
+        assert len(rv.xs) == 65
+
+    def test_from_pdf_needs_two_points(self):
+        with pytest.raises(ValueError):
+            NumericRV.from_pdf([0.0], [1.0])
+
+    def test_from_samples_matches_moments(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, 100_000)
+        rv = NumericRV.from_samples(samples)
+        assert rv.mean() == pytest.approx(10.0, abs=0.05)
+        assert rv.std() == pytest.approx(2.0, abs=0.05)
+
+    def test_from_samples_degenerate(self):
+        rv = NumericRV.from_samples(np.full(10, 4.0))
+        assert rv.is_point
+        assert rv.lo == 4.0
+
+
+class TestStatistics:
+    def test_uniform_moments(self):
+        rv = uniform_rv(2.0, 6.0)
+        assert rv.mean() == pytest.approx(4.0, rel=1e-6)
+        assert rv.var() == pytest.approx(16.0 / 12.0, rel=1e-3)
+
+    def test_uniform_entropy_closed_form(self):
+        # h(U[a,b]) = ln(b−a)
+        rv = uniform_rv(0.0, 2.0)
+        assert rv.entropy() == pytest.approx(np.log(2.0), abs=1e-6)
+
+    def test_beta_moments_closed_form(self):
+        # X = lo + (hi−lo)·B, B ~ Beta(2,5): E[B]=2/7, Var[B]=10/392
+        lo, hi = 10.0, 12.0
+        rv = beta_rv(lo, hi, 2.0, 5.0)
+        b_mean = 2.0 / 7.0
+        b_var = (2.0 * 5.0) / ((7.0**2) * 8.0)
+        assert rv.mean() == pytest.approx(lo + (hi - lo) * b_mean, rel=1e-4)
+        assert rv.var() == pytest.approx((hi - lo) ** 2 * b_var, rel=1e-2)
+
+    def test_point_entropy_is_minus_inf(self):
+        assert point_rv(1.0).entropy() == float("-inf")
+
+    def test_cdf_monotone_and_bounded(self):
+        rv = beta_rv(0.0, 1.0)
+        xs = np.linspace(-0.5, 1.5, 101)
+        cdf = rv.cdf(xs)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[0] == 0.0
+        assert cdf[-1] == 1.0
+
+    def test_quantile_cdf_roundtrip(self):
+        rv = beta_rv(5.0, 9.0)
+        for q in (0.1, 0.5, 0.9):
+            assert rv.cdf(rv.quantile(q)) == pytest.approx(q, abs=1e-6)
+
+    def test_quantile_rejects_out_of_range(self):
+        rv = uniform_rv(0, 1)
+        with pytest.raises(ValueError):
+            rv.quantile(1.5)
+
+    def test_prob_between(self):
+        rv = uniform_rv(0.0, 1.0)
+        assert rv.prob_between(0.25, 0.75) == pytest.approx(0.5, abs=1e-6)
+        assert rv.prob_between(0.75, 0.25) == 0.0
+
+    def test_mean_above_uniform(self):
+        # E[U[0,1] | U > 0.5] = 0.75
+        rv = uniform_rv(0.0, 1.0, grid_n=1001)
+        assert rv.mean_above(0.5) == pytest.approx(0.75, abs=1e-3)
+
+    def test_mean_above_edge_cases(self):
+        rv = uniform_rv(0.0, 1.0)
+        assert rv.mean_above(-1.0) == pytest.approx(rv.mean())
+        assert rv.mean_above(2.0) == 2.0
+        p = point_rv(5.0)
+        assert p.mean_above(3.0) == 5.0
+        assert p.mean_above(7.0) == 7.0
+
+    def test_point_cdf_is_step(self):
+        p = point_rv(2.0)
+        assert p.cdf(1.9) == 0.0
+        assert p.cdf(2.0) == 1.0
+        assert p.cdf(2.1) == 1.0
+
+    def test_resampled_preserves_moments(self):
+        rv = beta_rv(1.0, 3.0, grid_n=257)
+        rv2 = rv.resampled(65)
+        assert len(rv2.xs) == 65
+        assert rv2.mean() == pytest.approx(rv.mean(), rel=1e-3)
+        assert rv2.std() == pytest.approx(rv.std(), rel=2e-2)

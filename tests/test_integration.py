@@ -1,0 +1,86 @@
+"""End-to-end integration tests over the public API."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestQuickstartFlow:
+    """The README quickstart, as a test."""
+
+    def test_full_pipeline(self):
+        workload = repro.cholesky_workload(b=3, m=3, rng=0)
+        model = repro.StochasticModel(ul=1.1, grid_n=65)
+        schedule = repro.heft(workload)
+        rv = repro.classical_makespan(schedule, model)
+        metrics = repro.evaluate_schedule(schedule, model)
+        assert metrics.makespan == pytest.approx(rv.mean())
+        samples = repro.sample_makespans(schedule, model, rng=1, n_realizations=20_000)
+        assert rv.mean() == pytest.approx(samples.mean(), rel=5e-3)
+        assert repro.ks_distance(rv, samples) < 0.1
+
+
+class TestPaperStoryEndToEnd:
+    """The paper's three headline claims, checked end-to-end on one case."""
+
+    @pytest.fixture(scope="class")
+    def case(self):
+        workload = repro.random_workload(20, 4, rng=123)
+        model = repro.StochasticModel(ul=1.1, grid_n=65)
+        return repro.evaluate_case(workload, model, n_random=60, rng=7)
+
+    def test_dispersion_metrics_equivalent(self, case):
+        names = repro.METRIC_NAMES
+        p = case.pearson
+        block = ["makespan_std", "makespan_entropy", "lateness", "abs_prob"]
+        for a in block:
+            for b in block:
+                if a != b:
+                    assert p[names.index(a), names.index(b)] > 0.9
+
+    def test_slack_is_not_a_robustness_proxy(self, case):
+        names = repro.METRIC_NAMES
+        p = case.pearson
+        corr = p[names.index("slack_sum"), names.index("makespan_std")]
+        assert abs(corr) < 0.9, "slack must not be equivalent to σ_M"
+
+    def test_heuristics_robust_and_short(self, case):
+        n_rand = case.panel.n_schedules - len(case.heuristic_metrics)
+        rand_ms = case.panel.column("makespan")[:n_rand]
+        rand_std = case.panel.column("makespan_std")[:n_rand]
+        for hm in case.heuristic_metrics.values():
+            assert hm.makespan < np.percentile(rand_ms, 10)
+            assert hm.makespan_std < np.percentile(rand_std, 25)
+
+
+class TestCrossEngineConsistency:
+    def test_four_engines_one_schedule(self):
+        workload = repro.ge_workload(7, 8, rng=5)
+        model = repro.StochasticModel(ul=1.1, grid_n=65)
+        s = repro.bmct(workload)
+        classical = repro.classical_makespan(s, model)
+        dodin = repro.dodin_makespan(s, model)
+        spelde = repro.spelde_makespan(s, model)
+        mc = repro.sample_makespans(s, model, rng=0, n_realizations=30_000)
+        means = [classical.mean(), dodin.mean(), spelde.mean, mc.mean()]
+        assert max(means) - min(means) < 0.02 * mc.mean()
+
+
+class TestSigmaHeftExtension:
+    def test_sigma_heft_schedules_robustly(self):
+        workload = repro.random_workload(30, 6, rng=9)
+        model = repro.StochasticModel(ul=1.3, grid_n=65)
+        base = repro.evaluate_schedule(repro.heft(workload), model)
+        risk = repro.evaluate_schedule(repro.sigma_heft(workload, model, k=1.0), model)
+        # With fixed UL, σ ∝ mean ⇒ σ-HEFT ≈ HEFT; it must not be much worse.
+        assert risk.makespan <= 1.1 * base.makespan

@@ -1,0 +1,128 @@
+"""Serialization round-trips and exports (repro.io)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    disjunctive_to_dot,
+    schedule_from_json,
+    schedule_to_json,
+    schedule_trace_csv,
+    taskgraph_from_json,
+    taskgraph_to_dot,
+    taskgraph_to_json,
+    workload_from_json,
+    workload_to_json,
+)
+from repro.schedule import heft, random_schedule
+from repro.stochastic import StochasticModel
+
+
+class TestTaskGraphJson:
+    def test_roundtrip(self, small_workload):
+        g = small_workload.graph
+        g2 = taskgraph_from_json(taskgraph_to_json(g))
+        assert g2.n_tasks == g.n_tasks
+        assert sorted(g2.edges()) == sorted(g.edges())
+        assert g2.name == g.name
+
+    def test_rejects_wrong_kind(self, small_workload):
+        text = workload_to_json(small_workload)
+        with pytest.raises(ValueError, match="kind"):
+            taskgraph_from_json(text)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            taskgraph_from_json(json.dumps({"hello": 1}))
+
+
+class TestWorkloadJson:
+    def test_roundtrip(self, medium_workload):
+        w2 = workload_from_json(workload_to_json(medium_workload))
+        assert np.array_equal(w2.comp, medium_workload.comp)
+        assert np.array_equal(w2.platform.tau, medium_workload.platform.tau)
+        assert sorted(w2.graph.edges()) == sorted(medium_workload.graph.edges())
+
+    def test_roundtrip_preserves_schedule_results(self, small_workload):
+        w2 = workload_from_json(workload_to_json(small_workload))
+        assert heft(w2).makespan == pytest.approx(heft(small_workload).makespan)
+
+
+class TestScheduleJson:
+    def test_roundtrip_embedded(self, small_workload):
+        s = heft(small_workload)
+        s2 = schedule_from_json(schedule_to_json(s))
+        assert s2.makespan == pytest.approx(s.makespan)
+        assert np.array_equal(s2.proc, s.proc)
+        assert s2.orders == s.orders
+        assert s2.label == s.label
+
+    def test_roundtrip_external_workload(self, small_workload):
+        s = random_schedule(small_workload, rng=1)
+        text = schedule_to_json(s, embed_workload=False)
+        assert "workload" not in json.loads(text)
+        s2 = schedule_from_json(text, workload=small_workload)
+        assert np.allclose(s2.start, s.start)
+
+    def test_external_workload_required(self, small_workload):
+        s = heft(small_workload)
+        text = schedule_to_json(s, embed_workload=False)
+        with pytest.raises(ValueError, match="workload"):
+            schedule_from_json(text)
+
+    def test_corrupted_orders_fail_loudly(self, small_workload):
+        s = heft(small_workload)
+        payload = json.loads(schedule_to_json(s))
+        # Swap two tasks on one processor, contradicting precedence order
+        # often enough to be caught by the replay validation.
+        payload["orders"][0] = list(reversed(payload["orders"][0]))
+        if len(payload["orders"][0]) > 1:
+            with pytest.raises(ValueError):
+                schedule_from_json(json.dumps(payload))
+
+
+class TestDot:
+    def test_taskgraph_dot(self, small_workload):
+        dot = taskgraph_to_dot(small_workload.graph)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert f"{small_workload.n_tasks - 1} [shape=circle];" in dot
+        assert "->" in dot
+
+    def test_volumes_toggle(self, small_workload):
+        with_v = taskgraph_to_dot(small_workload.graph, show_volumes=True)
+        without = taskgraph_to_dot(small_workload.graph, show_volumes=False)
+        assert "label=" in with_v
+        assert "label=" not in without
+
+    def test_disjunctive_dot(self, small_workload):
+        s = random_schedule(small_workload, rng=2)
+        dot = disjunctive_to_dot(s)
+        assert "style=dashed" in dot  # chaining edges exist for 10 tasks / 3 procs
+        assert "fillcolor" in dot
+
+
+class TestTrace:
+    def test_deterministic_only(self, small_workload):
+        s = heft(small_workload)
+        csv = schedule_trace_csv(s)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "realization,task,proc,start,finish"
+        assert len(lines) == 1 + small_workload.n_tasks
+        assert all(line.startswith("-1,") for line in lines[1:])
+
+    def test_with_realizations(self, small_workload, model):
+        s = heft(small_workload)
+        csv = schedule_trace_csv(s, model, n_realizations=3, rng=0)
+        lines = csv.strip().splitlines()
+        assert len(lines) == 1 + 4 * small_workload.n_tasks
+        # Realization finish values stay within [min, UL·min] scaling bounds.
+        last = lines[-1].split(",")
+        assert float(last[4]) >= float(last[3])
+
+    def test_realizations_require_model(self, small_workload):
+        s = heft(small_workload)
+        with pytest.raises(ValueError):
+            schedule_trace_csv(s, None, n_realizations=5)

@@ -1,0 +1,68 @@
+"""Utility helpers: RNG plumbing and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.util import as_generator, format_matrix, format_table, spawn_generators
+
+
+class TestRng:
+    def test_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_determinism(self):
+        assert as_generator(5).random() == as_generator(5).random()
+
+    def test_none_gives_fresh(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_independent(self):
+        children = spawn_generators(7, 3)
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_generators(7, 3)]
+        b = [g.random() for g in spawn_generators(7, 3)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(1)
+        children = spawn_generators(gen, 2)
+        assert len(children) == 2
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_format_table_float_format(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_format_matrix_diagonal_dot(self):
+        m = np.array([[1.0, 0.5], [0.5, 1.0]])
+        text = format_matrix(m, ["a", "b"])
+        assert "·" in text
+        assert "+0.500" in text
+
+    def test_format_matrix_lower_override(self):
+        mean = np.array([[1.0, 0.8], [0.8, 1.0]])
+        std = np.array([[0.0, 0.1], [0.1, 0.0]])
+        text = format_matrix(mean, ["a", "b"], lower=std)
+        assert "+0.800" in text  # upper triangle: mean
+        assert "+0.100" in text  # lower triangle: std
+
+    def test_format_matrix_validation(self):
+        with pytest.raises(ValueError):
+            format_matrix(np.zeros((2, 3)), ["a", "b"])
+        with pytest.raises(ValueError):
+            format_matrix(np.zeros((2, 2)), ["a"])
