@@ -1,0 +1,58 @@
+"""Micro-benchmark: campaign fan-out vs the serial case loop.
+
+Runs a small case suite serially (``jobs=1``) and with two workers
+(``jobs=2``), reports both wall times and the speedup, and asserts the
+results are bit-identical (the campaign determinism guarantee) — plus a
+cache-warm replay that must do no case work at all.
+
+Scale with ``REPRO_SCALE`` like every other benchmark; at quick scale this
+is a ~minute-long experiment.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.campaign import ArtifactCache, Campaign, expand_suite
+from repro.experiments.cases import CaseSpec
+from repro.experiments.scale import get_scale
+
+
+def _suite() -> list[CaseSpec]:
+    return [
+        CaseSpec("cholesky", 3, 1.01),
+        CaseSpec("cholesky", 5, 1.1),
+        CaseSpec("random", 10, 1.01),
+        CaseSpec("random", 30, 1.1),
+        CaseSpec("ge", 4, 1.01),
+        CaseSpec("ge", 7, 1.1),
+    ]
+
+
+def test_campaign_parallel_speedup(benchmark, report, tmp_path):
+    cases = expand_suite(_suite(), get_scale(None), base_seed=7)
+
+    t0 = time.perf_counter()
+    serial = Campaign(cases, jobs=1).run()
+    serial_s = time.perf_counter() - t0
+
+    parallel = run_once(benchmark, lambda: Campaign(cases, jobs=2).run())
+
+    t0 = time.perf_counter()
+    cache = ArtifactCache(tmp_path / "artifacts")
+    Campaign(cases, jobs=2, cache=cache).run()
+    warm_campaign = Campaign(cases, jobs=2, cache=cache)
+    warm_campaign.run()
+    warm_s = time.perf_counter() - t0
+
+    parallel_s = benchmark.stats.stats.mean
+    report(
+        f"campaign of {len(cases)} cases: serial {serial_s:.2f}s, "
+        f"2 workers {parallel_s:.2f}s ({serial_s / parallel_s:.2f}x), "
+        f"cache store+warm replay {warm_s:.2f}s"
+    )
+
+    for a, b in zip(serial, parallel):
+        assert np.array_equal(a.panel.values, b.panel.values)
+    assert warm_campaign.stats.cached == len(cases)

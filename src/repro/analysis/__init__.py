@@ -23,7 +23,11 @@ builds on — relies on approximations, all of which are implemented here:
 from repro.analysis.classical import classical_makespan
 from repro.analysis.spelde import spelde_makespan
 from repro.analysis.dodin import dodin_makespan
-from repro.analysis.montecarlo import sample_makespans, empirical_cdf
+from repro.analysis.montecarlo import (
+    empirical_cdf,
+    sample_makespans,
+    sample_makespans_batch,
+)
 from repro.analysis.distance import cm_distance, ks_distance
 
 __all__ = [
@@ -31,6 +35,7 @@ __all__ = [
     "spelde_makespan",
     "dodin_makespan",
     "sample_makespans",
+    "sample_makespans_batch",
     "empirical_cdf",
     "ks_distance",
     "cm_distance",

@@ -1,0 +1,23 @@
+"""Parallel, cached campaign execution over independent experiment cases.
+
+The campaign layer turns a figure/ablation specification into a list of
+self-contained :class:`CampaignCase` work units, fans them out across
+worker processes, and persists every finished case as a content-addressed
+JSON artifact so interrupted or repeated campaigns skip completed work.
+Per-case RNG seeds are derived from the case fields alone, so ``jobs=1``,
+``jobs=N`` and cache-warm replays are all bit-identical.
+"""
+
+from repro.campaign.cache import ArtifactCache, CacheStats
+from repro.campaign.runner import Campaign, CampaignStats, parallel_map
+from repro.campaign.spec import CampaignCase, expand_suite
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "Campaign",
+    "CampaignCase",
+    "CampaignStats",
+    "expand_suite",
+    "parallel_map",
+]

@@ -1,0 +1,123 @@
+"""Content-addressed artifact cache for finished campaign cases.
+
+Each finished :class:`~repro.core.study.CaseResult` is persisted as one
+JSON file named after the case name plus a prefix of the case's content
+hash (:attr:`CampaignCase.key`), wrapped in an envelope that embeds
+
+* the full case dict (so an artifact is self-describing), and
+* a SHA-256 digest of the canonical result body.
+
+:meth:`ArtifactCache.load` treats *any* defect — missing file, truncated
+or non-JSON content, wrong format/kind, digest mismatch after a partial
+write or bit rot — as a cache miss and returns ``None``, so a campaign
+recomputes the case instead of crashing.  Writes go through a temp file +
+:func:`os.replace` so a killed run never leaves a half-written artifact
+under the final name (and ``--resume`` after an interruption only ever
+sees complete artifacts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.campaign.spec import CampaignCase
+from repro.core.study import CaseResult
+from repro.io.json_io import case_result_from_payload, case_result_to_payload
+
+__all__ = ["ArtifactCache", "CacheStats"]
+
+_ENVELOPE_FORMAT = "repro-campaign-v1"
+
+
+def _result_digest(result_payload: object) -> str:
+    """SHA-256 of the canonical (sorted-keys) dump of a result payload."""
+    canonical = json.dumps(result_payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache's lifetime (hits / misses / corrupt files)."""
+
+    hits: int = 0
+    misses: int = 0
+    corrupt: int = 0
+    stores: int = 0
+
+
+@dataclass
+class ArtifactCache:
+    """Directory of per-case result artifacts, keyed by content hash."""
+
+    root: pathlib.Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = pathlib.Path(self.root)
+
+    def path_for(self, case: CampaignCase) -> pathlib.Path:
+        """Artifact path of ``case`` (exists only once stored)."""
+        return self.root / case.artifact_name
+
+    # ------------------------------------------------------------------ #
+    # load / store
+    # ------------------------------------------------------------------ #
+
+    def load(self, case: CampaignCase) -> CaseResult | None:
+        """Return the cached result of ``case``, or ``None`` on any defect.
+
+        Corrupt or truncated artifacts (unparseable JSON, wrong envelope,
+        digest mismatch) count in :attr:`CacheStats.corrupt` and are
+        treated as misses — the campaign recomputes and overwrites them.
+        """
+        path = self.path_for(case)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            envelope = json.loads(text)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("format") != _ENVELOPE_FORMAT
+                or envelope.get("case_key") != case.key
+            ):
+                raise ValueError("envelope mismatch")
+            if _result_digest(envelope["result"]) != envelope["sha256"]:
+                raise ValueError("result digest mismatch")
+            result = case_result_from_payload(envelope["result"])
+        except (ValueError, KeyError, TypeError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def store(self, case: CampaignCase, result: CaseResult) -> pathlib.Path:
+        """Persist ``result`` atomically; returns the artifact path."""
+        return self._store(case, case_result_to_payload(result))
+
+    def store_payload(self, case: CampaignCase, result_json: str) -> pathlib.Path:
+        """Persist an already-serialized result (the worker wire format)."""
+        return self._store(case, json.loads(result_json))
+
+    def _store(self, case: CampaignCase, result_payload: dict) -> pathlib.Path:
+        envelope = {
+            "format": _ENVELOPE_FORMAT,
+            "case_key": case.key,
+            "case": case.to_dict(),
+            "sha256": _result_digest(result_payload),
+            "result": result_payload,
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(case)
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(envelope))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path

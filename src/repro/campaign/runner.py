@@ -1,0 +1,166 @@
+"""The campaign execution engine: fan-out, caching, deterministic replay.
+
+A :class:`Campaign` is a list of independent :class:`CampaignCase` work
+units plus an execution policy (worker count, artifact cache, force
+recompute).  Because every case derives its RNG stream from its *own*
+fields (not from execution order), results are bit-identical across
+
+* ``jobs=1`` (inline, no pool),
+* ``jobs=N`` (``ProcessPoolExecutor`` fan-out, any completion order), and
+* a cache-warm re-run (artifacts only, nothing recomputed),
+
+which the determinism test suite asserts panel-for-panel.  Workers ship
+results back as the same canonical JSON that lands in the artifact cache,
+so the parent persists each case the moment it finishes — an interrupted
+campaign re-run with ``--resume`` skips every completed case.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.campaign.cache import ArtifactCache
+from repro.campaign.spec import CampaignCase
+from repro.core.study import CaseResult
+from repro.io.json_io import case_result_from_json, case_result_to_json
+
+__all__ = ["Campaign", "CampaignStats", "parallel_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def _run_case_payload(case_dict: dict[str, Any]) -> str:
+    """Worker entry point: evaluate one case, return its canonical JSON.
+
+    Takes/returns plain JSON-compatible values so the pool pickles only
+    small payloads, and so the bytes the parent caches are exactly the
+    bytes the worker produced.
+    """
+    case = CampaignCase.from_dict(case_dict)
+    return case_result_to_json(case.run())
+
+
+@dataclass
+class CampaignStats:
+    """What one :meth:`Campaign.run` actually did."""
+
+    total: int = 0
+    computed: int = 0
+    cached: int = 0
+    corrupt_recovered: int = 0
+
+    def summary(self) -> str:
+        """One-line human summary for logs and reports."""
+        parts = [f"{self.total} cases", f"{self.computed} computed", f"{self.cached} cached"]
+        if self.corrupt_recovered:
+            parts.append(f"{self.corrupt_recovered} corrupt artifacts recomputed")
+        return ", ".join(parts)
+
+
+@dataclass
+class Campaign:
+    """A set of independent cases plus an execution policy.
+
+    Attributes
+    ----------
+    cases:
+        The work units, in result order.
+    jobs:
+        Worker processes; ``1`` runs inline (no pool).
+    cache:
+        Optional artifact cache; finished cases are persisted there and
+        re-used on later runs (corrupt artifacts are recomputed).
+    force:
+        Recompute every case even when a valid artifact exists (the
+        artifact is overwritten with the fresh result).
+    """
+
+    cases: Sequence[CampaignCase]
+    jobs: int = 1
+    cache: ArtifactCache | None = None
+    force: bool = False
+    stats: CampaignStats = field(default_factory=CampaignStats)
+
+    def run(self) -> list[CaseResult]:
+        """Execute all cases; returns results in case order.
+
+        Cached cases are loaded (never recomputed) unless ``force``;
+        pending cases run inline or across the process pool.  Each result
+        is persisted to the cache as soon as it is available.
+        """
+        self.stats = CampaignStats(total=len(self.cases))
+        results: dict[int, CaseResult] = {}
+        pending: list[int] = []
+        for i, case in enumerate(self.cases):
+            cached = None
+            if self.cache is not None and not self.force:
+                corrupt_before = self.cache.stats.corrupt
+                cached = self.cache.load(case)
+                if cached is None and self.cache.stats.corrupt > corrupt_before:
+                    self.stats.corrupt_recovered += 1
+            if cached is not None:
+                results[i] = cached
+                self.stats.cached += 1
+            else:
+                pending.append(i)
+
+        if self.jobs <= 1 or len(pending) <= 1:
+            for i in pending:
+                result = self.cases[i].run()
+                if self.cache is not None:
+                    self.cache.store(self.cases[i], result)
+                results[i] = result
+                self.stats.computed += 1
+        else:
+            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+            try:
+                futures = {
+                    pool.submit(_run_case_payload, self.cases[i].to_dict()): i
+                    for i in pending
+                }
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    failure: BaseException | None = None
+                    for fut in done:
+                        i = futures[fut]
+                        error = fut.exception()
+                        if error is not None:
+                            # Persist the batch's successes before failing,
+                            # so a --resume re-run does not redo them.
+                            failure = failure or error
+                            continue
+                        payload = fut.result()
+                        if self.cache is not None:
+                            self.cache.store_payload(self.cases[i], payload)
+                        results[i] = case_result_from_json(payload)
+                        self.stats.computed += 1
+                    if failure is not None:
+                        raise failure
+            except BaseException:
+                # On Ctrl-C (or a worker failure) drop the queued cases
+                # instead of draining them — everything already persisted
+                # stays persisted, and a --resume re-run picks up from there.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            pool.shutdown()
+        return [results[i] for i in range(len(self.cases))]
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], items: Iterable[_T], jobs: int = 1
+) -> list[_R]:
+    """Order-preserving map, inline or across a process pool.
+
+    The generic fan-out primitive for experiment stages that are not
+    :class:`CampaignCase`-shaped (e.g. the Figure 9 quadrant samplings).
+    ``fn`` must be picklable (module top-level) when ``jobs > 1``.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))

@@ -1,0 +1,192 @@
+"""Campaign case specifications: self-contained, hashable units of work.
+
+A :class:`CampaignCase` captures *everything* needed to evaluate one
+experiment case — the :class:`~repro.experiments.cases.CaseSpec` (graph
+family × size × UL × instance), the suite-level base seed, the population
+sizes and the engine — so that a case can be shipped to a worker process,
+executed there, and keyed in an artifact cache by a content hash of its
+fields.  Two campaigns that agree on every field produce bit-identical
+:class:`~repro.core.study.CaseResult` objects regardless of process count
+or execution order, because the per-case RNG seed is derived from the case
+fields alone (the same ``CaseSpec.seed(base_seed) + 1`` derivation the
+serial figure runners have always used).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.core.metrics import DEFAULT_DELTA, DEFAULT_GAMMA, Method
+from repro.experiments.cases import CaseSpec, build_workload
+from repro.experiments.scale import Scale, get_scale
+from repro.stochastic.model import StochasticModel
+
+__all__ = ["CampaignCase", "expand_suite"]
+
+
+@dataclass(frozen=True)
+class CampaignCase:
+    """One fully-specified experiment case of a campaign.
+
+    Attributes
+    ----------
+    spec:
+        The graph/UL case description.
+    base_seed:
+        Suite-level seed; the per-case RNG seed is derived from it and the
+        case name (see :attr:`rng_seed`).
+    n_random:
+        Random-schedule population size.
+    grid_n:
+        RV grid resolution for the analysis engine.
+    method:
+        Makespan-distribution engine (``classical``/``dodin``/``spelde``/
+        ``montecarlo``).
+    heuristics:
+        Heuristic schedules appended to the panel.
+    delta, gamma:
+        Probabilistic metric bounds (paper §V).
+    mc_realizations:
+        Monte-Carlo realization count (``montecarlo`` engine only).
+    mc_batch:
+        Evaluate all schedules against shared realization draws (the
+        batched fast path; ``montecarlo`` engine only).
+    """
+
+    spec: CaseSpec
+    base_seed: int = 20070913
+    n_random: int = 100
+    grid_n: int = 65
+    method: Method = "classical"
+    heuristics: tuple[str, ...] = ("heft", "bil", "bmct")
+    delta: float = DEFAULT_DELTA
+    gamma: float = DEFAULT_GAMMA
+    mc_realizations: int = 10_000
+    mc_batch: bool = False
+
+    @property
+    def name(self) -> str:
+        """Readable identifier (the underlying case name)."""
+        return self.spec.name
+
+    @property
+    def rng_seed(self) -> int:
+        """Per-case RNG seed — identical to the serial runners' derivation."""
+        return self.spec.seed(self.base_seed) + 1
+
+    # ------------------------------------------------------------------ #
+    # hashing / serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible field dump (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.spec.kind,
+            "param": self.spec.param,
+            "ul": self.spec.ul,
+            "instance": self.spec.instance,
+            "base_seed": self.base_seed,
+            "n_random": self.n_random,
+            "grid_n": self.grid_n,
+            "method": self.method,
+            "heuristics": list(self.heuristics),
+            "delta": self.delta,
+            "gamma": self.gamma,
+            "mc_realizations": self.mc_realizations,
+            "mc_batch": self.mc_batch,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CampaignCase":
+        """Rebuild a case from :meth:`to_dict` output."""
+        return cls(
+            spec=CaseSpec(
+                payload["kind"],
+                int(payload["param"]),
+                float(payload["ul"]),
+                int(payload["instance"]),
+            ),
+            base_seed=int(payload["base_seed"]),
+            n_random=int(payload["n_random"]),
+            grid_n=int(payload["grid_n"]),
+            method=payload["method"],
+            heuristics=tuple(payload["heuristics"]),
+            delta=float(payload["delta"]),
+            gamma=float(payload["gamma"]),
+            mc_realizations=int(payload["mc_realizations"]),
+            mc_batch=bool(payload["mc_batch"]),
+        )
+
+    @property
+    def key(self) -> str:
+        """Content hash of every field — the artifact cache key.
+
+        SHA-256 of the canonical (sorted-keys) JSON dump, so any change to
+        any parameter yields a different artifact and stale cache entries
+        can never be confused for current ones.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    @property
+    def artifact_name(self) -> str:
+        """Human-greppable artifact file name: case name + hash prefix."""
+        return f"{self.name}-{self.key[:12]}.json"
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> "Any":
+        """Evaluate this case (the unit of work a campaign worker executes).
+
+        Reproduces the serial figure-runner path exactly: same workload
+        construction, same model, same per-case seed.
+        """
+        from repro.core.study import evaluate_case
+
+        workload = build_workload(self.spec, base_seed=self.base_seed)
+        model = StochasticModel(ul=self.spec.ul, grid_n=self.grid_n)
+        return evaluate_case(
+            workload,
+            model,
+            n_random=self.n_random,
+            rng=self.rng_seed,
+            heuristics=self.heuristics,
+            method=self.method,
+            delta=self.delta,
+            gamma=self.gamma,
+            name=self.spec.name,
+            mc_realizations=self.mc_realizations,
+            mc_batch=self.mc_batch,
+        )
+
+
+def expand_suite(
+    specs: Iterable[CaseSpec],
+    scale: Scale | str | None = None,
+    base_seed: int = 20070913,
+    method: Method = "classical",
+    mc_batch: bool = False,
+) -> list[CampaignCase]:
+    """Expand case specs into :class:`CampaignCase` work units at a scale.
+
+    Population sizes follow the scale's per-size policy, exactly as the
+    serial ``fig6`` runner chose them.
+    """
+    scale = get_scale(scale)
+    return [
+        CampaignCase(
+            spec=spec,
+            base_seed=base_seed,
+            n_random=scale.n_random(spec.n_tasks),
+            grid_n=scale.grid_n,
+            method=method,
+            mc_realizations=scale.mc_realizations,
+            mc_batch=mc_batch,
+        )
+        for spec in specs
+    ]

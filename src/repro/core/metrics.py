@@ -35,6 +35,7 @@ __all__ = [
     "RobustnessMetrics",
     "evaluate_schedule",
     "metrics_from_distribution",
+    "metrics_from_rv",
 ]
 
 #: Paper §V: probabilistic metric bounds.
@@ -115,6 +116,35 @@ def metrics_from_distribution(
     )
 
 
+def metrics_from_rv(
+    rv: NumericRV | NormalRV,
+    schedule: Schedule,
+    model: StochasticModel,
+    delta: float = DEFAULT_DELTA,
+    gamma: float = DEFAULT_GAMMA,
+) -> RobustnessMetrics:
+    """All §IV metrics of ``schedule`` given its makespan distribution.
+
+    The assembly shared by every evaluation path (per-schedule engines and
+    the batched Monte-Carlo fast path): six distribution metrics from the
+    RV plus the two mean-value slack metrics.
+    """
+    mean, std, entropy, lateness, abs_p, rel_p = metrics_from_distribution(
+        rv, delta=delta, gamma=gamma
+    )
+    slack = slack_analysis(schedule, model)
+    return RobustnessMetrics(
+        makespan=mean,
+        makespan_std=std,
+        makespan_entropy=entropy,
+        slack_sum=slack.slack_sum,
+        slack_std=slack.slack_std,
+        lateness=lateness,
+        abs_prob=abs_p,
+        rel_prob=rel_p,
+    )
+
+
 def evaluate_schedule(
     schedule: Schedule,
     model: StochasticModel,
@@ -143,17 +173,4 @@ def evaluate_schedule(
     else:
         raise ValueError(f"unknown method {method!r}")
 
-    mean, std, entropy, lateness, abs_p, rel_p = metrics_from_distribution(
-        rv, delta=delta, gamma=gamma
-    )
-    slack = slack_analysis(schedule, model)
-    return RobustnessMetrics(
-        makespan=mean,
-        makespan_std=std,
-        makespan_entropy=entropy,
-        slack_sum=slack.slack_sum,
-        slack_std=slack.slack_std,
-        lateness=lateness,
-        abs_prob=abs_p,
-        rel_prob=rel_p,
-    )
+    return metrics_from_rv(rv, schedule, model, delta=delta, gamma=gamma)

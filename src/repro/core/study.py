@@ -11,18 +11,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.montecarlo import sample_makespans_batch
 from repro.core.metrics import (
     DEFAULT_DELTA,
     DEFAULT_GAMMA,
     Method,
     RobustnessMetrics,
     evaluate_schedule,
+    metrics_from_rv,
 )
 from repro.core.panel import MetricPanel
 from repro.platform.workload import Workload
 from repro.schedule import ALL_HEURISTICS
 from repro.schedule.random_schedule import random_schedules
 from repro.stochastic.model import StochasticModel
+from repro.stochastic.rv import NumericRV
 from repro.util.rng import as_generator
 
 __all__ = ["CaseResult", "evaluate_case"]
@@ -48,6 +51,8 @@ def evaluate_case(
     delta: float = DEFAULT_DELTA,
     gamma: float = DEFAULT_GAMMA,
     name: str = "",
+    mc_realizations: int = 10_000,
+    mc_batch: bool = False,
 ) -> CaseResult:
     """Evaluate ``n_random`` random schedules + ``heuristics`` on one case.
 
@@ -55,16 +60,59 @@ def evaluate_case(
     the paper's orientation; heuristic rows are appended to the panel (they
     are plotted as highlighted points in the paper's figures, not included
     in the correlations).
+
+    ``mc_realizations`` and ``mc_batch`` only apply to the ``montecarlo``
+    engine.  With ``mc_batch`` every schedule of the case is evaluated
+    against **shared** realization draws (one Beta block for the whole
+    population instead of one per schedule) via
+    :func:`~repro.analysis.montecarlo.sample_makespans_batch` — the
+    campaign fast path.  Its draw stream is deterministic in ``rng`` but
+    differs from the per-schedule stream, so batched and unbatched panels
+    agree statistically, not bit-for-bit.
     """
     if n_random < 2:
         raise ValueError("need at least two random schedules for correlations")
     gen = as_generator(rng)
+
+    if mc_batch and method == "montecarlo":
+        # Draw the whole population first, then sample all schedules at once.
+        schedules = list(random_schedules(workload, n_random, gen))
+        schedules += [ALL_HEURISTICS[hname](workload) for hname in heuristics]
+        all_samples = sample_makespans_batch(
+            schedules, model, gen, n_realizations=mc_realizations
+        )
+        metrics = [
+            metrics_from_rv(
+                NumericRV.from_samples(all_samples[i], grid_n=model.grid_n),
+                s,
+                model,
+                delta=delta,
+                gamma=gamma,
+            )
+            for i, s in enumerate(schedules)
+        ]
+        labels = [s.label for s in schedules]
+        random_panel = MetricPanel.from_metrics(metrics[:n_random], labels[:n_random])
+        heuristic_metrics = dict(zip(heuristics, metrics[n_random:]))
+        return CaseResult(
+            name=name or workload.graph.name,
+            panel=MetricPanel.from_metrics(metrics, labels),
+            pearson=random_panel.pearson(),
+            heuristic_metrics=heuristic_metrics,
+        )
+
     metrics: list[RobustnessMetrics] = []
     labels: list[str] = []
     for schedule in random_schedules(workload, n_random, gen):
         metrics.append(
             evaluate_schedule(
-                schedule, model, method=method, delta=delta, gamma=gamma, rng=gen
+                schedule,
+                model,
+                method=method,
+                delta=delta,
+                gamma=gamma,
+                n_realizations=mc_realizations,
+                rng=gen,
             )
         )
         labels.append(schedule.label)
@@ -76,7 +124,13 @@ def evaluate_case(
     for hname in heuristics:
         schedule = ALL_HEURISTICS[hname](workload)
         hm = evaluate_schedule(
-            schedule, model, method=method, delta=delta, gamma=gamma, rng=gen
+            schedule,
+            model,
+            method=method,
+            delta=delta,
+            gamma=gamma,
+            n_realizations=mc_realizations,
+            rng=gen,
         )
         heuristic_metrics[hname] = hm
         metrics.append(hm)

@@ -5,6 +5,40 @@ Example::
 
     repro-experiments fig6 --scale default
     REPRO_SCALE=paper repro-experiments all
+
+Running campaigns
+-----------------
+The case-suite figures (fig3/fig4/fig5/fig6) execute through the
+:mod:`repro.campaign` layer, which fans independent cases out across
+worker processes and persists every finished case as a content-addressed
+JSON artifact.  (fig9 is not case-based: it honours ``--jobs`` — each
+quadrant's Monte-Carlo sampling can run in its own process — but has no
+artifacts to cache, so ``--cache-dir``/``--resume``/``--force`` do not
+apply to it.)
+
+``--jobs N``
+    Evaluate up to ``N`` cases concurrently in worker processes.  Each
+    case derives its RNG stream from its own spec, so the report is
+    **bit-identical** for any ``N`` (and to the historical serial path).
+
+``--cache-dir DIR``
+    Persist/reuse per-case artifacts in ``DIR``.  A re-run of the same
+    figure, scale and seed loads every completed case from disk instead of
+    recomputing it; corrupt or truncated artifacts are detected by content
+    hash and recomputed transparently.
+
+``--resume``
+    Shorthand for caching in the default directory ``.repro-cache`` —
+    re-running after an interruption (Ctrl-C, OOM, crash) picks up where
+    the previous run stopped, skipping all completed cases.
+
+``--force``
+    Recompute every case even when a valid artifact exists, overwriting
+    the artifacts.
+
+Example — a paper-scale sweep that survives interruptions::
+
+    repro-experiments fig6 --scale paper --jobs 8 --resume
 """
 
 from __future__ import annotations
@@ -13,16 +47,24 @@ import argparse
 import pathlib
 import sys
 import time
+from dataclasses import replace
 from typing import Callable
 
+from repro.campaign import ArtifactCache
 from repro.experiments import fig1_precision, fig2_visual, fig6_aggregate, fig78_clt
 from repro.experiments import fig345_panels, fig9_slack_quadrants
 from repro.experiments.scale import get_scale
 
-__all__ = ["main"]
+__all__ = ["main", "DEFAULT_CACHE_DIR"]
+
+#: Cache directory used by ``--resume`` when ``--cache-dir`` is not given.
+DEFAULT_CACHE_DIR = pathlib.Path(".repro-cache")
+
+#: Figures whose cases run through the campaign layer (cache + fan-out).
+_CAMPAIGN_FIGURES = ("fig3", "fig4", "fig5", "fig6")
 
 
-def _runners() -> dict[str, Callable[[object], object]]:
+def _runners() -> dict[str, Callable[..., object]]:
     return {
         "fig1": fig1_precision.run,
         "fig2": fig2_visual.run,
@@ -55,6 +97,30 @@ def main(argv: list[str] | None = None) -> int:
         help="population scale (default: env REPRO_SCALE or 'quick')",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for campaign figures (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="persist/reuse per-case artifacts here (campaign figures)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=f"cache in {DEFAULT_CACHE_DIR}/ so interrupted runs resume",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute cases even when a valid cached artifact exists",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=None,
@@ -67,17 +133,43 @@ def main(argv: list[str] | None = None) -> int:
         help="dump metric-panel CSVs here (panel figures: fig3/fig4/fig5)",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be ≥ 1")
     scale = get_scale(args.scale)
+
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.resume:
+        cache_dir = DEFAULT_CACHE_DIR
+    cache = ArtifactCache(cache_dir) if cache_dir is not None else None
 
     chunks: list[str] = []
     names = list(runners) if args.figure == "all" else [args.figure]
     for name in names:
         t0 = time.perf_counter()
-        result = runners[name](scale)
+        if name in _CAMPAIGN_FIGURES:
+            # Snapshot the shared cache counters so the line printed after
+            # this figure shows its own hits/stores, not the running total.
+            before = replace(cache.stats) if cache is not None else None
+            result = runners[name](
+                scale, jobs=args.jobs, cache=cache, force=args.force
+            )
+        elif name == "fig9":
+            result = runners[name](scale, jobs=args.jobs)
+        else:
+            result = runners[name](scale)
         elapsed = time.perf_counter() - t0
         text = result.render()
         print(text)
         print(f"[{name} done in {elapsed:.1f}s at scale={scale.name}]")
+        if cache is not None and name in _CAMPAIGN_FIGURES:
+            s, b = cache.stats, before
+            corrupt = s.corrupt - b.corrupt
+            print(
+                f"[cache {cache_dir}: {s.hits - b.hits} hits, "
+                f"{s.stores - b.stores} stored"
+                + (f", {corrupt} corrupt recomputed" if corrupt else "")
+                + "]"
+            )
         print()
         chunks.append(text + "\n")
         if args.csv_dir is not None and hasattr(result, "case"):

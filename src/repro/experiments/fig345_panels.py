@@ -16,11 +16,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.campaign import ArtifactCache, Campaign, CampaignCase
 from repro.core.correlation import pearson
-from repro.core.study import CaseResult, evaluate_case
-from repro.experiments.cases import CaseSpec, build_workload
+from repro.core.study import CaseResult
+from repro.experiments.cases import CaseSpec
 from repro.experiments.scale import Scale, get_scale
-from repro.stochastic.model import StochasticModel
 from repro.util.tables import format_matrix
 from repro.core.metrics import METRIC_NAMES
 
@@ -63,19 +63,26 @@ def run_panel(
     spec: CaseSpec,
     scale: Scale | str | None = None,
     seed: int = 20070912,
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
+    force: bool = False,
 ) -> PanelResult:
-    """Evaluate one panel case at the given scale."""
+    """Evaluate one panel case at the given scale.
+
+    The case runs through the campaign layer: with ``cache`` set, a
+    previously computed artifact for the same spec/scale/seed is reused
+    instead of recomputing (``force`` overrides).
+    """
     scale = get_scale(scale)
-    workload = build_workload(spec, base_seed=seed)
-    model = StochasticModel(ul=spec.ul, grid_n=scale.grid_n)
     n_random = scale.n_random(spec.n_tasks)
-    case = evaluate_case(
-        workload,
-        model,
+    campaign_case = CampaignCase(
+        spec=spec,
+        base_seed=seed,
         n_random=n_random,
-        rng=spec.seed(seed) + 1,
-        name=spec.name,
+        grid_n=scale.grid_n,
     )
+    campaign = Campaign((campaign_case,), jobs=jobs, cache=cache, force=force)
+    case = campaign.run()[0]
     # §VII: R(γ)/E(M) against σ_M over the random schedules only.
     k = n_random
     rel_over_m = case.panel.oriented_rel_prob_over_makespan()[:k]
@@ -88,16 +95,22 @@ def run_panel(
     )
 
 
-def run_fig3(scale: Scale | str | None = None, seed: int = 20070912) -> PanelResult:
+def run_fig3(
+    scale: Scale | str | None = None, seed: int = 20070912, **campaign_opts
+) -> PanelResult:
     """Figure 3 panel (Cholesky 10 tasks / 3 procs / UL 1.01)."""
-    return run_panel("Fig. 3", FIG3_SPEC, scale, seed)
+    return run_panel("Fig. 3", FIG3_SPEC, scale, seed, **campaign_opts)
 
 
-def run_fig4(scale: Scale | str | None = None, seed: int = 20070912) -> PanelResult:
+def run_fig4(
+    scale: Scale | str | None = None, seed: int = 20070912, **campaign_opts
+) -> PanelResult:
     """Figure 4 panel (random 30 tasks / 8 procs / UL 1.01)."""
-    return run_panel("Fig. 4", FIG4_SPEC, scale, seed)
+    return run_panel("Fig. 4", FIG4_SPEC, scale, seed, **campaign_opts)
 
 
-def run_fig5(scale: Scale | str | None = None, seed: int = 20070912) -> PanelResult:
+def run_fig5(
+    scale: Scale | str | None = None, seed: int = 20070912, **campaign_opts
+) -> PanelResult:
     """Figure 5 panel (Gaussian elimination ≈103 tasks / 16 procs / UL 1.1)."""
-    return run_panel("Fig. 5", FIG5_SPEC, scale, seed)
+    return run_panel("Fig. 5", FIG5_SPEC, scale, seed, **campaign_opts)

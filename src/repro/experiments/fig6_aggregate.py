@@ -16,12 +16,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.campaign import ArtifactCache, Campaign, expand_suite
 from repro.core.correlation import aggregate_matrices, pearson
-from repro.core.study import CaseResult, evaluate_case
-from repro.experiments.cases import CaseSpec, build_workload, default_suite
+from repro.core.study import CaseResult
+from repro.experiments.cases import CaseSpec, default_suite
 from repro.experiments.scale import Scale, get_scale
 from repro.core.metrics import METRIC_NAMES
-from repro.stochastic.model import StochasticModel
 from repro.util.tables import format_matrix, format_table
 
 __all__ = ["Fig6Result", "run"]
@@ -80,21 +80,30 @@ def run(
     scale: Scale | str | None = None,
     seed: int = 20070913,
     specs: list[CaseSpec] | None = None,
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
+    force: bool = False,
 ) -> Fig6Result:
-    """Run the case suite and aggregate the Pearson matrices."""
+    """Run the case suite and aggregate the Pearson matrices.
+
+    The suite is expanded into a campaign: ``jobs`` cases run concurrently
+    in worker processes (results are bit-identical to ``jobs=1`` because
+    each case's RNG stream is derived from its own spec), and with
+    ``cache`` set completed cases are reused across runs.
+    """
     scale = get_scale(scale)
     if specs is None:
         specs = default_suite()
-    results: list[CaseResult] = []
+    campaign = Campaign(
+        expand_suite(specs, scale, base_seed=seed),
+        jobs=jobs,
+        cache=cache,
+        force=force,
+    )
+    results = campaign.run()
     rel_corrs: list[float] = []
-    for spec in specs:
-        workload = build_workload(spec, base_seed=seed)
-        model = StochasticModel(ul=spec.ul, grid_n=scale.grid_n)
+    for spec, case in zip(specs, results):
         n_random = scale.n_random(spec.n_tasks)
-        case = evaluate_case(
-            workload, model, n_random=n_random, rng=spec.seed(seed) + 1, name=spec.name
-        )
-        results.append(case)
         rel_over_m = case.panel.oriented_rel_prob_over_makespan()[:n_random]
         std = case.panel.column("makespan_std")[:n_random]
         rel_corrs.append(pearson(rel_over_m, std))

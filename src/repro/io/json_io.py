@@ -14,6 +14,9 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.metrics import METRIC_NAMES, RobustnessMetrics
+from repro.core.panel import MetricPanel
+from repro.core.study import CaseResult
 from repro.dag.graph import TaskGraph
 from repro.platform.platform import Platform
 from repro.platform.workload import Workload
@@ -26,6 +29,10 @@ __all__ = [
     "workload_from_json",
     "schedule_to_json",
     "schedule_from_json",
+    "case_result_to_json",
+    "case_result_from_json",
+    "case_result_to_payload",
+    "case_result_from_payload",
 ]
 
 _FORMAT = "repro-v1"
@@ -115,6 +122,66 @@ def schedule_from_json(text: str, workload: Workload | None = None) -> Schedule:
         np.asarray(payload["proc"], dtype=np.intp),
         [tuple(int(t) for t in order) for order in payload["orders"]],
         label=str(payload.get("label", "")),
+    )
+
+
+def case_result_to_payload(result: CaseResult) -> dict[str, Any]:
+    """JSON-compatible dict form of a :class:`~repro.core.study.CaseResult`.
+
+    The artifact holds the full metric panel (values + labels), the Pearson
+    matrix of the random schedules, and the heuristic metric rows — enough
+    to reproduce every figure rendering and aggregation bit-exactly (JSON
+    floats round-trip exactly via Python's shortest-repr encoding; NaN and
+    ±Infinity survive via the default ``allow_nan`` tokens).
+    """
+    return {
+        "format": _FORMAT,
+        "kind": "case_result",
+        "name": result.name,
+        "panel": {
+            "values": result.panel.values.tolist(),
+            "labels": list(result.panel.labels),
+        },
+        "pearson": result.pearson.tolist(),
+        "heuristics": {
+            name: [float(v) for v in hm.as_array()]
+            for name, hm in sorted(result.heuristic_metrics.items())
+        },
+    }
+
+
+def case_result_to_json(result: CaseResult) -> str:
+    """Serialize a :class:`~repro.core.study.CaseResult` to JSON."""
+    return json.dumps(case_result_to_payload(result))
+
+
+def case_result_from_json(text: str) -> CaseResult:
+    """Inverse of :func:`case_result_to_json`."""
+    return case_result_from_payload(_load(text, "case_result"))
+
+
+def case_result_from_payload(payload: dict[str, Any]) -> CaseResult:
+    """Inverse of :func:`case_result_to_payload`.
+
+    Raises :class:`ValueError`/:class:`KeyError`/:class:`TypeError` on a
+    malformed payload (the cache layer treats those as misses).
+    """
+    if payload.get("format") != _FORMAT or payload.get("kind") != "case_result":
+        raise ValueError("not a case_result payload")
+    panel_payload = payload["panel"]
+    panel = MetricPanel(
+        np.asarray(panel_payload["values"], dtype=float),
+        tuple(str(label) for label in panel_payload["labels"]),
+    )
+    heuristic_metrics = {
+        str(name): RobustnessMetrics(**dict(zip(METRIC_NAMES, map(float, row))))
+        for name, row in payload["heuristics"].items()
+    }
+    return CaseResult(
+        name=str(payload["name"]),
+        panel=panel,
+        pearson=np.asarray(payload["pearson"], dtype=float),
+        heuristic_metrics=heuristic_metrics,
     )
 
 

@@ -4,8 +4,13 @@ import numpy as np
 import pytest
 
 from repro.analysis import sample_makespans
-from repro.analysis.montecarlo import empirical_cdf, sample_task_times
+from repro.analysis.montecarlo import (
+    empirical_cdf,
+    sample_makespans_batch,
+    sample_task_times,
+)
 from repro.schedule import heft, random_schedule
+from repro.schedule.random_schedule import random_schedules
 from repro.stochastic import StochasticModel
 
 
@@ -65,6 +70,90 @@ class TestSampling:
             sample_makespans(s, model, rng=0, n_realizations=0)
 
 
+class TestTaskUlEdgeCases:
+    def test_wrong_shape_rejected(self, small_workload, model):
+        s = heft(small_workload)
+        n = small_workload.n_tasks
+        bad = np.full(n + 1, 1.1)
+        with pytest.raises(ValueError, match="shape"):
+            sample_task_times(s, model, rng=0, n_realizations=5, task_ul=bad)
+
+    def test_scalar_rejected(self, small_workload, model):
+        s = heft(small_workload)
+        with pytest.raises(ValueError, match="shape"):
+            sample_task_times(
+                s, model, rng=0, n_realizations=5, task_ul=np.float64(1.1)
+            )
+
+    def test_below_one_rejected(self, small_workload, model):
+        s = heft(small_workload)
+        bad = np.full(small_workload.n_tasks, 1.1)
+        bad[0] = 0.99
+        with pytest.raises(ValueError, match="≥ 1"):
+            sample_task_times(s, model, rng=0, n_realizations=5, task_ul=bad)
+
+    def test_unit_task_ul_is_deterministic_tasks(self, small_workload, model):
+        # UL = 1 per task ⇒ every task duration pinned at its minimum.
+        s = heft(small_workload)
+        ones = np.ones(small_workload.n_tasks)
+        start, finish = sample_task_times(
+            s, model, rng=0, n_realizations=4, task_ul=ones
+        )
+        dur = finish - start
+        assert np.allclose(dur, dur[0])
+
+    def test_single_realization(self, small_workload, model):
+        s = heft(small_workload)
+        start, finish = sample_task_times(s, model, rng=0, n_realizations=1)
+        assert start.shape == (1, small_workload.n_tasks)
+        ms = sample_makespans(s, model, rng=0, n_realizations=1)
+        assert ms.shape == (1,)
+        assert ms[0] >= s.makespan - 1e-9
+
+
+class TestBatchSampling:
+    def test_shape_and_bounds(self, small_workload, model):
+        scheds = list(random_schedules(small_workload, 4, rng=3))
+        ms = sample_makespans_batch(scheds, model, rng=1, n_realizations=200)
+        assert ms.shape == (4, 200)
+        for i, s in enumerate(scheds):
+            assert np.all(ms[i] >= s.makespan - 1e-9)
+            assert np.all(ms[i] <= model.ul * s.makespan + 1e-9)
+
+    def test_reproducible(self, small_workload, model):
+        scheds = list(random_schedules(small_workload, 3, rng=4))
+        a = sample_makespans_batch(scheds, model, rng=9, n_realizations=100)
+        b = sample_makespans_batch(scheds, model, rng=9, n_realizations=100)
+        assert np.array_equal(a, b)
+
+    def test_agrees_with_per_schedule_sampling_statistically(
+        self, small_workload, model
+    ):
+        scheds = list(random_schedules(small_workload, 3, rng=5))
+        batch = sample_makespans_batch(scheds, model, rng=10, n_realizations=8000)
+        for i, s in enumerate(scheds):
+            solo = sample_makespans(s, model, rng=11, n_realizations=8000)
+            assert batch[i].mean() == pytest.approx(solo.mean(), rel=2e-2)
+            assert batch[i].std() == pytest.approx(solo.std(), rel=0.15)
+
+    def test_deterministic_model(self, small_workload):
+        det = StochasticModel(ul=1.0)
+        scheds = list(random_schedules(small_workload, 2, rng=6))
+        ms = sample_makespans_batch(scheds, det, rng=0, n_realizations=3)
+        for i, s in enumerate(scheds):
+            assert np.allclose(ms[i], s.makespan)
+
+    def test_mixed_workloads_rejected(self, small_workload, medium_workload, model):
+        a = heft(small_workload)
+        b = heft(medium_workload)
+        with pytest.raises(ValueError, match="shared workload"):
+            sample_makespans_batch([a, b], model, rng=0, n_realizations=5)
+
+    def test_empty_rejected(self, model):
+        with pytest.raises(ValueError):
+            sample_makespans_batch([], model, rng=0)
+
+
 class TestSharedLinks:
     def test_shared_links_runs_and_stays_in_support(self, small_workload, model):
         s = random_schedule(small_workload, rng=8)
@@ -73,6 +162,12 @@ class TestSharedLinks:
         )
         assert np.all(ms >= s.makespan - 1e-9)
         assert np.all(ms <= model.ul * s.makespan + 1e-9)
+
+    def test_shared_links_reproducible_under_fixed_seed(self, small_workload, model):
+        s = random_schedule(small_workload, rng=10)
+        a = sample_makespans(s, model, rng=42, n_realizations=300, shared_links=True)
+        b = sample_makespans(s, model, rng=42, n_realizations=300, shared_links=True)
+        assert np.array_equal(a, b)
 
     def test_shared_links_changes_distribution(self, medium_workload, model):
         s = random_schedule(medium_workload, rng=9)
@@ -91,3 +186,15 @@ class TestEmpiricalCdf:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             empirical_cdf(np.array([]))
+
+    def test_non_finite_rejected(self):
+        # A NaN would sort to the end and silently skew every quantile.
+        with pytest.raises(ValueError, match="finite"):
+            empirical_cdf(np.array([1.0, np.nan, 2.0]))
+        with pytest.raises(ValueError, match="finite"):
+            empirical_cdf(np.array([1.0, np.inf]))
+
+    def test_multidimensional_input_flattened(self):
+        xs, f = empirical_cdf(np.array([[4.0, 2.0], [3.0, 1.0]]))
+        assert np.array_equal(xs, [1.0, 2.0, 3.0, 4.0])
+        assert f[-1] == 1.0

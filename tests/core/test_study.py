@@ -46,3 +46,46 @@ class TestEvaluateCase:
         a = evaluate_case(small_workload, model, n_random=5, rng=42)
         b = evaluate_case(small_workload, model, n_random=5, rng=42)
         assert np.allclose(a.panel.values, b.panel.values)
+
+
+class TestBatchedMonteCarlo:
+    def test_batched_panel_composition(self, small_workload, model):
+        res = evaluate_case(
+            small_workload,
+            model,
+            n_random=6,
+            rng=3,
+            method="montecarlo",
+            mc_realizations=500,
+            mc_batch=True,
+        )
+        assert res.panel.n_schedules == 9
+        assert set(res.heuristic_metrics) == {"heft", "bil", "bmct"}
+        assert res.pearson.shape == (len(METRIC_NAMES), len(METRIC_NAMES))
+
+    def test_batched_is_deterministic(self, small_workload, model):
+        kwargs = dict(
+            n_random=5, rng=7, method="montecarlo", mc_realizations=400, mc_batch=True
+        )
+        a = evaluate_case(small_workload, model, **kwargs)
+        b = evaluate_case(small_workload, model, **kwargs)
+        assert np.array_equal(a.panel.values, b.panel.values)
+
+    def test_batched_agrees_with_unbatched_statistically(
+        self, small_workload, model
+    ):
+        kwargs = dict(n_random=5, rng=8, method="montecarlo", mc_realizations=6000)
+        batched = evaluate_case(small_workload, model, mc_batch=True, **kwargs)
+        solo = evaluate_case(small_workload, model, **kwargs)
+        # The random populations differ (the two paths interleave draws
+        # differently), so compare the heuristics — deterministic
+        # schedules whose MC means must agree between the paths.
+        for name in batched.heuristic_metrics:
+            assert batched.heuristic_metrics[name].makespan == pytest.approx(
+                solo.heuristic_metrics[name].makespan, rel=1e-2
+            )
+
+    def test_mc_batch_ignored_for_analytic_methods(self, small_workload, model):
+        a = evaluate_case(small_workload, model, n_random=5, rng=9)
+        b = evaluate_case(small_workload, model, n_random=5, rng=9, mc_batch=True)
+        assert np.array_equal(a.panel.values, b.panel.values)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.campaign import CampaignCase
 from repro.experiments.cli import main
 
 
@@ -37,3 +38,57 @@ class TestCli:
     def test_unknown_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig7", "--scale", "enormous"])
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig7", "--jobs", "0"])
+
+
+class TestCampaignFlags:
+    def test_fig3_with_jobs_and_cache(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["fig3", "--jobs", "2", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "1 stored" in out
+        assert len(list(cache_dir.iterdir())) == 1
+
+    def test_parallel_report_identical_to_serial(self, capsys, tmp_path):
+        assert main(["fig3", "--jobs", "4"]) == 0
+        parallel_out = capsys.readouterr().out.splitlines()[0]
+        assert main(["fig3"]) == 0
+        serial_out = capsys.readouterr().out.splitlines()[0]
+        assert parallel_out == serial_out
+
+    def test_warm_cache_skips_recomputation(self, capsys, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        assert main(["fig3", "--cache-dir", str(cache_dir)]) == 0
+        first = capsys.readouterr().out.splitlines()[0]
+
+        def boom(self):  # pragma: no cover - must never run on a warm cache
+            raise AssertionError("case recomputed despite warm cache")
+
+        monkeypatch.setattr(CampaignCase, "run", boom)
+        assert main(["fig3", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == first
+        assert "1 hits" in out
+
+    def test_force_recomputes(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(["fig3", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert main(["fig3", "--cache-dir", str(cache_dir), "--force"]) == 0
+        assert "0 hits, 1 stored" in capsys.readouterr().out
+
+    def test_resume_uses_default_cache_dir(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["fig3", "--resume"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / ".repro-cache").is_dir()
+        assert main(["fig3", "--resume"]) == 0
+        assert "1 hits" in capsys.readouterr().out
+
+    def test_fig9_accepts_jobs(self, capsys):
+        assert main(["fig9", "--jobs", "2"]) == 0
+        assert "Fig. 9" in capsys.readouterr().out

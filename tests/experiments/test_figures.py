@@ -134,3 +134,10 @@ class TestFig9:
         by_label = dict(zip(res.labels, res.makespan_stds))
         assert by_label["c_serial"] > by_label["a_spread"]
         assert by_label["c_serial"] > by_label["b_balanced"]
+
+    def test_parallel_identical_to_serial(self):
+        # Each quadrant samples from its own spawned child stream, so the
+        # process fan-out cannot change the numbers.
+        serial = fig9_slack_quadrants.run(TINY, jobs=1)
+        fanned = fig9_slack_quadrants.run(TINY, jobs=2)
+        assert serial == fanned
