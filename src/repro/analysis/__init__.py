@@ -29,6 +29,12 @@ from repro.analysis.montecarlo import (
     sample_makespans_batch,
 )
 from repro.analysis.distance import cm_distance, ks_distance
+from repro.analysis.streaming import (
+    MomentAccumulator,
+    P2Quantile,
+    PearsonAccumulator,
+    PearsonMatrixAccumulator,
+)
 
 __all__ = [
     "classical_makespan",
@@ -39,4 +45,8 @@ __all__ = [
     "empirical_cdf",
     "ks_distance",
     "cm_distance",
+    "MomentAccumulator",
+    "PearsonAccumulator",
+    "PearsonMatrixAccumulator",
+    "P2Quantile",
 ]

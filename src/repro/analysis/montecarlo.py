@@ -133,6 +133,117 @@ def sample_makespans(
     return finish.max(axis=1)
 
 
+#: Element budget for one across-schedule propagation block.  Schedules are
+#: processed in chunks of ``max(1, _BATCH_TARGET_ELEMS // (R · n))``: the
+#: per-chunk duration/finish tensors then stay around 2 MB, which keeps the
+#: propagation working set cache-resident (empirically ~2× faster than
+#: multi-ten-MB chunks) and bounds memory regardless of population size.
+_BATCH_TARGET_ELEMS = 1 << 18
+
+
+def _propagate_times_multi(
+    schedules: list[Schedule] | tuple[Schedule, ...],
+    durations: np.ndarray,
+    edge_factors: np.ndarray,
+    edge_index: dict[tuple[int, int], int],
+) -> np.ndarray:
+    """``(S, R)`` makespans of several schedules propagated *simultaneously*.
+
+    ``durations`` is the ``(S, R, n)`` shared-draw duration tensor and
+    ``edge_factors`` a ``(E + 1, R)`` matrix of per-application-edge
+    communication rate factors (row 0 is all ones, used by edges whose
+    communication time is deterministic).  Each schedule has its own
+    disjunctive graph, so the tasks are walked step-by-step through the
+    *per-schedule* topological orders with padded predecessor index arrays:
+    step ``t`` resolves task ``topo[s][t]`` of every schedule ``s`` at once,
+    turning the Python-level loop from ``O(S · n · indeg)`` into
+    ``O(n · max_indeg)`` numpy operations on ``(S, R)`` blocks.
+
+    The arithmetic (duration reconstruction, arrival = finish + comm,
+    running maximum in predecessor order) is element-for-element the same
+    as :func:`_propagate_times`, so the result is bit-identical to the
+    per-schedule loop.
+    """
+    n_sched, n_realizations, n = durations.shape
+    sidx = np.arange(n_sched)
+
+    # Per-schedule topological orders and padded predecessor tables.
+    topo = np.empty((n_sched, n), dtype=np.intp)
+    preds: list[list[list[tuple[int, float, int]]]] = []
+    max_preds = 0
+    for s_i, schedule in enumerate(schedules):
+        dis = schedule.disjunctive()
+        proc = schedule.proc
+        comm_cost = dict(((u, v), c) for u, v, c in schedule.comm_edges())
+        topo[s_i] = dis.topo
+        rows: list[list[tuple[int, float, int]]] = []
+        for v in dis.topo:
+            v = int(v)
+            row: list[tuple[int, float, int]] = []
+            for u, volume in dis.preds[v]:
+                c = 0.0
+                f = 0
+                if volume is not None and int(proc[u]) != int(proc[v]):
+                    c = comm_cost.get((u, v), 0.0)
+                    f = edge_index.get((u, v), 0)
+                row.append((u, c, f))
+            rows.append(row)
+            max_preds = max(max_preds, len(row))
+        preds.append(rows)
+
+    pred_u = np.zeros((n, max_preds, n_sched), dtype=np.intp)
+    pred_mask = np.zeros((n, max_preds, n_sched), dtype=bool)
+    pred_c = np.zeros((n, max_preds, n_sched))
+    pred_f = np.zeros((n, max_preds, n_sched), dtype=np.intp)
+    for s_i, rows in enumerate(preds):
+        for t, row in enumerate(rows):
+            for p, (u, c, f) in enumerate(row):
+                pred_u[t, p, s_i] = u
+                pred_mask[t, p, s_i] = True
+                pred_c[t, p, s_i] = c
+                pred_f[t, p, s_i] = f
+
+    # Per-(step, slot) occupancy, hoisted out of the hot loop.  Slots are
+    # filled front-first, so the first globally-empty slot ends the scan.
+    slot_any = pred_mask.any(axis=2)
+    slot_full = pred_mask.all(axis=2)
+    slot_comm = (pred_c != 0.0).any(axis=2)
+
+    # Task-major layout: gathering/scattering one task per schedule then
+    # touches contiguous (n_sched, R) rows instead of stride-n columns.
+    durations = np.ascontiguousarray(np.transpose(durations, (2, 0, 1)))
+    finish = np.zeros((n, n_sched, n_realizations))
+    makespan = np.full((n_sched, n_realizations), -np.inf)
+    for t in range(n):
+        v = topo[:, t]
+        acc: np.ndarray | None = None
+        for p in range(max_preds):
+            if not slot_any[t, p]:
+                break
+            arrival = finish[pred_u[t, p], sidx]
+            if slot_comm[t, p]:
+                arrival += pred_c[t, p, :, None] * edge_factors[pred_f[t, p]]
+            if not slot_full[t, p]:
+                arrival[~pred_mask[t, p]] = -np.inf
+            if acc is None:
+                acc = arrival
+            else:
+                np.maximum(acc, arrival, out=acc)
+        dur_v = durations[v, sidx]
+        if acc is None:
+            fin_v = dur_v
+        else:
+            # Entry tasks (all slots masked) stay at the -inf sentinel and
+            # collapse to the 0.0 ready time; real arrivals are ≥ 0, so the
+            # maximum leaves them bit-unchanged.
+            np.maximum(acc, 0.0, out=acc)
+            acc += dur_v
+            fin_v = acc
+        finish[v, sidx] = fin_v
+        np.maximum(makespan, fin_v, out=makespan)
+    return makespan
+
+
 def sample_makespans_batch(
     schedules: list[Schedule] | tuple[Schedule, ...],
     model: StochasticModel,
@@ -150,6 +261,13 @@ def sample_makespans_batch(
     sampling (the dominant cost for small graphs) and acts as common
     random numbers: schedule-to-schedule metric *differences* are estimated
     with lower variance than under independent draws.
+
+    Propagation is vectorized across **schedules as well as realizations**:
+    chunks of schedules are replayed simultaneously through
+    :func:`_propagate_times_multi` on ``(chunk, R, n)`` tensors, which is
+    bit-identical to (and considerably faster than) the historical
+    per-schedule loop — chunk size does not affect a single value because
+    all randomness is drawn up front.
 
     The draw stream differs from per-schedule sampling by construction, but
     is fully deterministic in ``rng`` and independent of ``len(schedules)``
@@ -173,30 +291,33 @@ def sample_makespans_batch(
         b_task = gen.beta(model.alpha, model.beta, size=(n_realizations, n))
     # … and one shared Beta vector per application edge (drawn in the
     # graph's canonical sorted edge order, independent of any schedule).
-    b_edge: dict[tuple[int, int], np.ndarray] = {}
+    spread = model.ul - 1.0
+    edge_rows: list[np.ndarray] = [np.ones(n_realizations)]
+    edge_index: dict[tuple[int, int], int] = {}
     if model.ul > 1.0:
         for u, v, volume in sorted(w.graph.edges()):
             if volume:
-                b_edge[(u, v)] = gen.beta(
-                    model.alpha, model.beta, size=n_realizations
-                )
+                b = gen.beta(model.alpha, model.beta, size=n_realizations)
+                edge_index[(u, v)] = len(edge_rows)
+                edge_rows.append(1.0 + spread * b)
+    edge_factors = np.stack(edge_rows)
 
-    spread = model.ul - 1.0
+    task_factor = None if b_task is None else 1.0 + spread * b_task
+    mins = np.stack([s.min_durations() for s in schedules])  # (S, n)
+
+    chunk = max(1, int(_BATCH_TARGET_ELEMS // max(1, n_realizations * n)))
     makespans = np.empty((len(schedules), n_realizations))
-    for i, schedule in enumerate(schedules):
-        mins = schedule.min_durations()
-        if b_task is None:
-            durations = np.broadcast_to(mins, (n_realizations, n)).copy()
+    for lo in range(0, len(schedules), chunk):
+        hi = min(lo + chunk, len(schedules))
+        if task_factor is None:
+            durations = np.broadcast_to(
+                mins[lo:hi, None, :], (hi - lo, n_realizations, n)
+            ).copy()
         else:
-            durations = mins * (1.0 + spread * b_task)
-        comm_samples: dict[tuple[int, int], np.ndarray] = {}
-        for u, v, c in schedule.comm_edges():
-            b = b_edge.get((u, v))
-            comm_samples[(u, v)] = (
-                np.full(n_realizations, c) if b is None else c * (1.0 + spread * b)
-            )
-        _, finish = _propagate_times(schedule, durations, comm_samples)
-        makespans[i] = finish.max(axis=1)
+            durations = mins[lo:hi, None, :] * task_factor[None, :, :]
+        makespans[lo:hi] = _propagate_times_multi(
+            schedules[lo:hi], durations, edge_factors, edge_index
+        )
     return makespans
 
 

@@ -8,6 +8,12 @@ Per-case RNG seeds are derived from the case fields alone, so ``jobs=1``,
 ``jobs=N`` and cache-warm replays are all bit-identical.
 """
 
+from repro.campaign.aggregate import (
+    CaseContribution,
+    SuiteAggregate,
+    SuiteAggregator,
+    case_contribution,
+)
 from repro.campaign.cache import ArtifactCache, CacheStats
 from repro.campaign.runner import Campaign, CampaignStats, parallel_map
 from repro.campaign.spec import CampaignCase, expand_suite
@@ -18,6 +24,10 @@ __all__ = [
     "Campaign",
     "CampaignCase",
     "CampaignStats",
+    "CaseContribution",
+    "SuiteAggregate",
+    "SuiteAggregator",
+    "case_contribution",
     "expand_suite",
     "parallel_map",
 ]

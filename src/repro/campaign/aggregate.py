@@ -1,0 +1,231 @@
+"""Streaming aggregation of campaign case results (the Figure 6 reduction).
+
+The paper's summary statistics are all *reductions* over per-case results:
+Figure 6 is the element-wise mean/σ of the per-case 8×8 Pearson matrices,
+and the §VII derived statistic is the mean/σ of a per-case correlation.
+This module computes them **one case at a time** — from the runner's
+as-completed stream (:meth:`Campaign.iter_results`) or from an artifact
+cache (:meth:`ArtifactCache.iter_results`) — so a paper-scale (or far
+larger) sweep never holds more than one :class:`CaseResult` in memory, and
+an interrupted sweep's partial aggregate is exact for the cases completed
+so far.
+
+Determinism
+-----------
+The repo's campaign guarantee (``jobs=1`` ≡ ``jobs=N`` ≡ cache-warm,
+bit-for-bit) extends to the aggregates: :class:`SuiteAggregator` folds
+case contributions into its accumulators in **case-index order**
+regardless of arrival order, holding out-of-order contributions in a
+small reorder buffer (each is an 8×8 matrix plus a few scalars — panels
+are reduced to contributions *before* buffering).  Because the fold order
+is fixed, every execution mode produces bit-identical mean/σ matrices.
+
+:meth:`SuiteAggregator.merge` combines per-worker partial aggregates via
+the accumulators' Chan-style ``merge()`` — deterministic for a fixed
+partition and merge order, and equal to the sequential fold to ~1e-12
+(floating-point summation order differs), which is why the in-process
+campaign path folds through a single aggregator instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.streaming import MomentAccumulator
+from repro.campaign.spec import CampaignCase
+from repro.core.correlation import pearson
+from repro.core.metrics import METRIC_NAMES
+from repro.core.study import CaseResult
+
+__all__ = [
+    "CaseContribution",
+    "SuiteAggregate",
+    "SuiteAggregator",
+    "case_contribution",
+]
+
+_N_METRICS = len(METRIC_NAMES)
+
+
+@dataclass(frozen=True)
+class CaseContribution:
+    """Everything the suite reduction needs from one case — O(1)-sized.
+
+    Attributes
+    ----------
+    index:
+        Position of the case in the suite (the canonical fold order).
+    name:
+        Case identifier (for reporting).
+    pearson:
+        The case's 8×8 Pearson matrix.
+    rel_corr:
+        The case's §VII correlation ``corr(oriented R(γ)/E(M), σ_M)`` over
+        its random-schedule population.
+    heuristic_rows:
+        Per-heuristic summary rows ``(case, heuristic, makespan,
+        frac_random_better_M, σ_M, frac_random_better_σ)``.
+    """
+
+    index: int
+    name: str
+    pearson: np.ndarray
+    rel_corr: float
+    heuristic_rows: tuple[tuple[str, str, float, float, float, float], ...]
+
+
+def case_contribution(
+    index: int, case: CampaignCase, result: CaseResult
+) -> CaseContribution:
+    """Reduce one finished case to its suite contribution.
+
+    The §VII per-case correlation is ``pearson()`` over the oriented
+    ``R(γ)/E(M)`` and ``σ_M`` columns of the *random* population (the first
+    ``case.n_random`` panel rows, exactly as the in-memory Figure 6 runner
+    always computed it — NaN when any value is non-finite, so the
+    suite-level moment fold skips the case).  After this returns, the
+    panel can be dropped.
+    """
+    n_random = case.n_random
+    rel_over_m = result.panel.oriented_rel_prob_over_makespan()[:n_random]
+    std = result.panel.column("makespan_std")[:n_random]
+    rel_corr = pearson(rel_over_m, std)
+
+    rows = []
+    n_rand_rows = result.panel.n_schedules - len(result.heuristic_metrics)
+    rand_ms = result.panel.column("makespan")[:n_rand_rows]
+    rand_std = result.panel.column("makespan_std")[:n_rand_rows]
+    for hname, hm in sorted(result.heuristic_metrics.items()):
+        rows.append(
+            (
+                result.name,
+                hname,
+                hm.makespan,
+                float((rand_ms < hm.makespan).mean()),
+                hm.makespan_std,
+                float((rand_std < hm.makespan_std).mean()),
+            )
+        )
+    return CaseContribution(
+        index=index,
+        name=result.name,
+        pearson=np.asarray(result.pearson, dtype=float),
+        rel_corr=rel_corr,
+        heuristic_rows=tuple(rows),
+    )
+
+
+@dataclass(frozen=True)
+class SuiteAggregate:
+    """The finalized suite reduction (what Figure 6 renders)."""
+
+    n_cases: int
+    mean: np.ndarray
+    std: np.ndarray
+    rel_mean: float
+    rel_std: float
+    heuristic_rows: tuple[tuple[str, str, float, float, float, float], ...]
+
+
+class SuiteAggregator:
+    """Streaming reducer over case results with a deterministic fold order.
+
+    Contributions may arrive in any order (``ordered=True``, the default):
+    they are reduced to :class:`CaseContribution` immediately and held in a
+    reorder buffer until their index is next, then folded — so the fold
+    sequence, and therefore every output bit, is independent of arrival
+    order.  The buffer holds only contributions (8×8 + scalars), never
+    panels; its size is bounded by the out-of-orderness of the stream (≈
+    the worker count in practice), keeping memory O(1) in the suite size.
+
+    With ``ordered=False`` contributions fold immediately in arrival order
+    — for per-worker partial aggregates whose local order is already
+    canonical (e.g. a shard scanning its cases sequentially); combine the
+    partials with :meth:`merge`.
+    """
+
+    def __init__(self, ordered: bool = True):
+        self.ordered = ordered
+        self.matrix = MomentAccumulator((_N_METRICS, _N_METRICS))
+        self.rel = MomentAccumulator(())
+        self._rows: list[tuple[str, str, float, float, float, float]] = []
+        self._pending: dict[int, CaseContribution] = {}
+        self._next = 0
+        self._n_cases = 0
+
+    # ------------------------------------------------------------------ #
+    # feeding
+    # ------------------------------------------------------------------ #
+
+    def add_case(self, index: int, case: CampaignCase, result: CaseResult) -> None:
+        """Reduce one finished case and fold it (panel dropped afterwards)."""
+        self.add(case_contribution(index, case, result))
+
+    def add(self, contribution: CaseContribution) -> None:
+        """Fold a contribution, reordering by index when ``ordered``."""
+        if not self.ordered:
+            self._fold(contribution)
+            return
+        if contribution.index < self._next or contribution.index in self._pending:
+            raise ValueError(f"duplicate case index {contribution.index}")
+        self._pending[contribution.index] = contribution
+        while self._next in self._pending:
+            self._fold(self._pending.pop(self._next))
+            self._next += 1
+
+    def _fold(self, c: CaseContribution) -> None:
+        if c.pearson.shape != (_N_METRICS, _N_METRICS):
+            raise ValueError(f"expected an 8×8 Pearson matrix, got {c.pearson.shape}")
+        self.matrix.add(c.pearson)
+        self.rel.add(c.rel_corr)
+        self._rows.extend(c.heuristic_rows)
+        self._n_cases += 1
+
+    def merge(self, other: "SuiteAggregator") -> None:
+        """Fold a partial aggregate in (Chan-merge of the accumulators).
+
+        Both aggregators must be fully drained (no reorder-buffered
+        contributions); heuristic rows are concatenated in merge order.
+        """
+        if self._pending or other._pending:
+            raise ValueError("cannot merge aggregators with undrained contributions")
+        self.matrix.merge(other.matrix)
+        self.rel.merge(other.rel)
+        self._rows.extend(other._rows)
+        self._n_cases += other._n_cases
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_cases(self) -> int:
+        """Cases folded so far (excludes reorder-buffered ones)."""
+        return self._n_cases
+
+    @property
+    def n_buffered(self) -> int:
+        """Contributions waiting in the reorder buffer."""
+        return len(self._pending)
+
+    def finalize(self) -> SuiteAggregate:
+        """The aggregate over everything folded so far.
+
+        Contributions still in the reorder buffer (a gap in the index
+        sequence — e.g. an interrupted sweep whose case *k* never finished
+        while *k+1…* did) are **not** included: the result is the exact
+        aggregate of the contiguous completed prefix plus nothing else,
+        which keeps partial aggregates well-defined and replayable.
+        """
+        if self._n_cases == 0:
+            raise ValueError("no case results to aggregate")
+        return SuiteAggregate(
+            n_cases=self._n_cases,
+            mean=np.asarray(self.matrix.mean, dtype=float),
+            std=np.asarray(self.matrix.std(), dtype=float),
+            rel_mean=float(self.rel.mean),
+            rel_std=float(self.rel.std()),
+            heuristic_rows=tuple(self._rows),
+        )

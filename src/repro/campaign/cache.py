@@ -23,6 +23,7 @@ import json
 import os
 import pathlib
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.campaign.spec import CampaignCase
 from repro.core.study import CaseResult
@@ -37,6 +38,26 @@ def _result_digest(result_payload: object) -> str:
     """SHA-256 of the canonical (sorted-keys) dump of a result payload."""
     canonical = json.dumps(result_payload, sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _parse_envelope(text: str) -> tuple[CampaignCase, CaseResult]:
+    """Decode and fully validate one artifact envelope.
+
+    The single definition of "valid artifact", shared by :meth:`load` and
+    :meth:`iter_results`: envelope format, embedded case dict consistent
+    with the recorded content hash, and result digest intact.  Raises
+    :class:`ValueError`/:class:`KeyError`/:class:`TypeError` on any defect
+    (callers count those as corrupt).
+    """
+    envelope = json.loads(text)
+    if not isinstance(envelope, dict) or envelope.get("format") != _ENVELOPE_FORMAT:
+        raise ValueError("not a campaign artifact envelope")
+    case = CampaignCase.from_dict(envelope["case"])
+    if envelope.get("case_key") != case.key:
+        raise ValueError("embedded case does not match its recorded key")
+    if _result_digest(envelope["result"]) != envelope["sha256"]:
+        raise ValueError("result digest mismatch")
+    return case, case_result_from_payload(envelope["result"])
 
 
 @dataclass
@@ -81,22 +102,57 @@ class ArtifactCache:
             self.stats.misses += 1
             return None
         try:
-            envelope = json.loads(text)
-            if (
-                not isinstance(envelope, dict)
-                or envelope.get("format") != _ENVELOPE_FORMAT
-                or envelope.get("case_key") != case.key
-            ):
-                raise ValueError("envelope mismatch")
-            if _result_digest(envelope["result"]) != envelope["sha256"]:
-                raise ValueError("result digest mismatch")
-            result = case_result_from_payload(envelope["result"])
+            stored_case, result = _parse_envelope(text)
+            if stored_case.key != case.key:
+                raise ValueError("artifact belongs to a different case")
         except (ValueError, KeyError, TypeError):
             self.stats.corrupt += 1
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return result
+
+    # ------------------------------------------------------------------ #
+    # streaming iteration
+    # ------------------------------------------------------------------ #
+
+    def iter_results(
+        self, cases: "list[CampaignCase] | tuple[CampaignCase, ...] | None" = None
+    ) -> Iterator[tuple[int, CampaignCase, CaseResult]]:
+        """Yield ``(index, case, result)`` one artifact at a time.
+
+        With ``cases`` given, the artifacts are visited in *case order* and
+        missing/corrupt ones are silently skipped — the streaming source
+        for summarizing a (possibly partial) campaign cache without
+        recomputing anything.  Without ``cases``, every valid artifact in
+        the directory is yielded in sorted-filename order (deterministic),
+        with ``index`` numbering the yielded artifacts; invalid files count
+        as corrupt and are skipped.
+
+        Only one :class:`CaseResult` is materialized at a time, so
+        aggregating through this iterator is O(1) memory in the number of
+        artifacts.
+        """
+        if cases is not None:
+            for i, case in enumerate(cases):
+                result = self.load(case)
+                if result is not None:
+                    yield i, case, result
+            return
+        try:
+            paths = sorted(p for p in self.root.iterdir() if p.suffix == ".json")
+        except OSError:
+            return
+        index = 0
+        for path in paths:
+            try:
+                case, result = _parse_envelope(path.read_text())
+            except (OSError, ValueError, KeyError, TypeError):
+                self.stats.corrupt += 1
+                continue
+            self.stats.hits += 1
+            yield index, case, result
+            index += 1
 
     def store(self, case: CampaignCase, result: CaseResult) -> pathlib.Path:
         """Persist ``result`` atomically; returns the artifact path."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.campaign.cache import ArtifactCache
 from repro.campaign.spec import CampaignCase
@@ -91,8 +91,24 @@ class Campaign:
         pending cases run inline or across the process pool.  Each result
         is persisted to the cache as soon as it is available.
         """
+        results = {i: result for i, _, result in self.iter_results()}
+        return [results[i] for i in range(len(self.cases))]
+
+    def iter_results(self) -> Iterator[tuple[int, CampaignCase, CaseResult]]:
+        """Yield ``(index, case, result)`` as each case completes.
+
+        The streaming core of :meth:`run` — consumers that only *reduce*
+        over results (the Figure 6 aggregation, any
+        :class:`~repro.campaign.aggregate.SuiteAggregator`) never hold more
+        than one :class:`CaseResult` at a time.  Cached cases are yielded
+        first, in case order; computed cases follow in case order when
+        running inline, or in completion order across the pool (consumers
+        needing a canonical fold order should reorder by ``index`` — the
+        aggregate layer does).  Each computed result is persisted to the
+        cache *before* it is yielded, so an interrupted consumer leaves a
+        resumable cache behind.
+        """
         self.stats = CampaignStats(total=len(self.cases))
-        results: dict[int, CaseResult] = {}
         pending: list[int] = []
         for i, case in enumerate(self.cases):
             cached = None
@@ -102,52 +118,55 @@ class Campaign:
                 if cached is None and self.cache.stats.corrupt > corrupt_before:
                     self.stats.corrupt_recovered += 1
             if cached is not None:
-                results[i] = cached
                 self.stats.cached += 1
+                yield i, case, cached
             else:
                 pending.append(i)
 
+        if not pending:
+            return
         if self.jobs <= 1 or len(pending) <= 1:
             for i in pending:
                 result = self.cases[i].run()
                 if self.cache is not None:
                     self.cache.store(self.cases[i], result)
-                results[i] = result
                 self.stats.computed += 1
-        else:
-            pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
-            try:
-                futures = {
-                    pool.submit(_run_case_payload, self.cases[i].to_dict()): i
-                    for i in pending
-                }
-                not_done = set(futures)
-                while not_done:
-                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                    failure: BaseException | None = None
-                    for fut in done:
-                        i = futures[fut]
-                        error = fut.exception()
-                        if error is not None:
-                            # Persist the batch's successes before failing,
-                            # so a --resume re-run does not redo them.
-                            failure = failure or error
-                            continue
-                        payload = fut.result()
-                        if self.cache is not None:
-                            self.cache.store_payload(self.cases[i], payload)
-                        results[i] = case_result_from_json(payload)
-                        self.stats.computed += 1
-                    if failure is not None:
-                        raise failure
-            except BaseException:
-                # On Ctrl-C (or a worker failure) drop the queued cases
-                # instead of draining them — everything already persisted
-                # stays persisted, and a --resume re-run picks up from there.
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
-            pool.shutdown()
-        return [results[i] for i in range(len(self.cases))]
+                yield i, self.cases[i], result
+            return
+
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+        try:
+            futures = {
+                pool.submit(_run_case_payload, self.cases[i].to_dict()): i
+                for i in pending
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                failure: BaseException | None = None
+                for fut in done:
+                    i = futures[fut]
+                    error = fut.exception()
+                    if error is not None:
+                        # Persist the batch's successes before failing,
+                        # so a --resume re-run does not redo them.
+                        failure = failure or error
+                        continue
+                    payload = fut.result()
+                    if self.cache is not None:
+                        self.cache.store_payload(self.cases[i], payload)
+                    self.stats.computed += 1
+                    yield i, self.cases[i], case_result_from_json(payload)
+                if failure is not None:
+                    raise failure
+        except BaseException:
+            # On Ctrl-C, a worker failure, or an abandoned consumer
+            # (GeneratorExit) drop the queued cases instead of draining
+            # them — everything already persisted stays persisted, and a
+            # --resume re-run picks up from there.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown()
 
 
 def parallel_map(

@@ -27,7 +27,12 @@ from repro.core.metrics import (
 )
 from repro.core.slack import SlackAnalysis, slack_analysis
 from repro.core.panel import MetricPanel
-from repro.core.correlation import aggregate_matrices, pearson, pearson_matrix
+from repro.core.correlation import (
+    aggregate_matrices,
+    pearson,
+    pearson_from_moments,
+    pearson_matrix,
+)
 from repro.core.related import england_ks_metric, late_ratio, robustness_radius
 from repro.core.study import CaseResult, evaluate_case
 
@@ -41,6 +46,7 @@ __all__ = [
     "slack_analysis",
     "MetricPanel",
     "pearson",
+    "pearson_from_moments",
     "pearson_matrix",
     "aggregate_matrices",
     "CaseResult",

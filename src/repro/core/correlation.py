@@ -12,7 +12,26 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["pearson", "pearson_matrix", "aggregate_matrices"]
+__all__ = [
+    "pearson",
+    "pearson_from_moments",
+    "pearson_matrix",
+    "aggregate_matrices",
+]
+
+
+def pearson_from_moments(sxx: float, syy: float, sxy: float) -> float:
+    """Pearson coefficient from centered co-moments, NaN-safe.
+
+    ``sxx = Σ(x−x̄)²``, ``syy = Σ(y−ȳ)²``, ``sxy = Σ(x−x̄)(y−ȳ)`` — the
+    quantities both the batch path below and the streaming accumulators of
+    :mod:`repro.analysis.streaming` maintain.  Returns NaN when either
+    series is (numerically) constant; the result is clipped to [−1, 1].
+    """
+    denom = np.sqrt(sxx * syy)
+    if denom < 1e-300 or not np.isfinite(denom):
+        return float("nan")
+    return float(np.clip(sxy / denom, -1.0, 1.0))
 
 
 def pearson(x: np.ndarray, y: np.ndarray) -> float:
@@ -29,10 +48,9 @@ def pearson(x: np.ndarray, y: np.ndarray) -> float:
         return float("nan")
     xc = x - x.mean()
     yc = y - y.mean()
-    denom = np.sqrt((xc * xc).sum() * (yc * yc).sum())
-    if denom < 1e-300 or not np.isfinite(denom):
-        return float("nan")
-    return float(np.clip((xc * yc).sum() / denom, -1.0, 1.0))
+    return pearson_from_moments(
+        float((xc * xc).sum()), float((yc * yc).sum()), float((xc * yc).sum())
+    )
 
 
 def pearson_matrix(columns: np.ndarray) -> np.ndarray:

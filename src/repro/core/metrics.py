@@ -36,6 +36,7 @@ __all__ = [
     "evaluate_schedule",
     "metrics_from_distribution",
     "metrics_from_rv",
+    "metrics_from_samples_matrix",
 ]
 
 #: Paper §V: probabilistic metric bounds.
@@ -143,6 +144,42 @@ def metrics_from_rv(
         abs_prob=abs_p,
         rel_prob=rel_p,
     )
+
+
+def metrics_from_samples_matrix(
+    samples: np.ndarray,
+    schedules: "list[Schedule] | tuple[Schedule, ...]",
+    model: StochasticModel,
+    delta: float = DEFAULT_DELTA,
+    gamma: float = DEFAULT_GAMMA,
+) -> list[RobustnessMetrics]:
+    """All §IV metrics for every row of an ``(S, R)`` makespan matrix.
+
+    The consumer side of the across-schedule batched Monte-Carlo fast path
+    (:func:`~repro.analysis.montecarlo.sample_makespans_batch`): row ``i``
+    of ``samples`` holds the shared-draw makespan realizations of
+    ``schedules[i]``; each row is fit to an empirical grid RV and fed
+    through :func:`metrics_from_distribution` column-wise, exactly as the
+    per-schedule engines do, so batched and per-schedule metric *semantics*
+    coincide.
+    """
+    from repro.stochastic.rv import NumericRV
+
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 2 or samples.shape[0] != len(schedules):
+        raise ValueError(
+            f"expected a ({len(schedules)}, R) makespan matrix, got {samples.shape}"
+        )
+    return [
+        metrics_from_rv(
+            NumericRV.from_samples(samples[i], grid_n=model.grid_n),
+            schedule,
+            model,
+            delta=delta,
+            gamma=gamma,
+        )
+        for i, schedule in enumerate(schedules)
+    ]
 
 
 def evaluate_schedule(

@@ -18,14 +18,13 @@ from repro.core.metrics import (
     Method,
     RobustnessMetrics,
     evaluate_schedule,
-    metrics_from_rv,
+    metrics_from_samples_matrix,
 )
 from repro.core.panel import MetricPanel
 from repro.platform.workload import Workload
 from repro.schedule import ALL_HEURISTICS
 from repro.schedule.random_schedule import random_schedules
 from repro.stochastic.model import StochasticModel
-from repro.stochastic.rv import NumericRV
 from repro.util.rng import as_generator
 
 __all__ = ["CaseResult", "evaluate_case"]
@@ -75,22 +74,17 @@ def evaluate_case(
     gen = as_generator(rng)
 
     if mc_batch and method == "montecarlo":
-        # Draw the whole population first, then sample all schedules at once.
+        # Draw the whole population first, then sample all schedules at once
+        # (the propagation is vectorized across schedules in chunks) and
+        # extract every schedule's metrics from the (S, R) matrix row-wise.
         schedules = list(random_schedules(workload, n_random, gen))
         schedules += [ALL_HEURISTICS[hname](workload) for hname in heuristics]
         all_samples = sample_makespans_batch(
             schedules, model, gen, n_realizations=mc_realizations
         )
-        metrics = [
-            metrics_from_rv(
-                NumericRV.from_samples(all_samples[i], grid_n=model.grid_n),
-                s,
-                model,
-                delta=delta,
-                gamma=gamma,
-            )
-            for i, s in enumerate(schedules)
-        ]
+        metrics = metrics_from_samples_matrix(
+            all_samples, schedules, model, delta=delta, gamma=gamma
+        )
         labels = [s.label for s in schedules]
         random_panel = MetricPanel.from_metrics(metrics[:n_random], labels[:n_random])
         heuristic_metrics = dict(zip(heuristics, metrics[n_random:]))

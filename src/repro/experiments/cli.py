@@ -36,9 +36,26 @@ apply to it.)
     Recompute every case even when a valid artifact exists, overwriting
     the artifacts.
 
+``--stream``
+    Fold fig6's per-case results into the streaming aggregator and drop
+    each panel immediately — O(1) memory in the number of cases, same
+    numbers bit-for-bit.
+
 Example — a paper-scale sweep that survives interruptions::
 
     repro-experiments fig6 --scale paper --jobs 8 --resume
+
+Summarizing without recomputation
+---------------------------------
+``aggregate`` is a pseudo-figure that re-derives the Figure 6 report
+purely from an existing artifact cache::
+
+    repro-experiments aggregate --scale paper --cache-dir .repro-cache
+
+It streams the cached artifacts through the same aggregation as ``fig6``
+(bit-identical on a complete cache), skips cases whose artifacts are
+missing (the partial aggregate of an interrupted sweep is exact for the
+completed cases), and never computes anything.
 """
 
 from __future__ import annotations
@@ -87,8 +104,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=[*runners.keys(), "all"],
-        help="figure to reproduce, or 'all'",
+        choices=[*runners.keys(), "aggregate", "all"],
+        help="figure to reproduce, 'aggregate' (summarize a cache), or 'all'",
     )
     parser.add_argument(
         "--scale",
@@ -121,6 +138,12 @@ def main(argv: list[str] | None = None) -> int:
         help="recompute cases even when a valid cached artifact exists",
     )
     parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="fig6: stream per-case results through the aggregator "
+        "(O(1) memory, bit-identical report)",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=None,
@@ -142,17 +165,27 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir = DEFAULT_CACHE_DIR
     cache = ArtifactCache(cache_dir) if cache_dir is not None else None
 
+    if args.figure == "aggregate" and cache is None:
+        parser.error("aggregate requires --cache-dir or --resume")
+
     chunks: list[str] = []
     names = list(runners) if args.figure == "all" else [args.figure]
     for name in names:
         t0 = time.perf_counter()
-        if name in _CAMPAIGN_FIGURES:
+        if name == "aggregate":
+            try:
+                result = fig6_aggregate.aggregate_from_cache(scale, cache=cache)
+            except ValueError as exc:
+                # Empty/typo'd cache dir, or artifacts of another scale/seed.
+                parser.error(str(exc))
+        elif name in _CAMPAIGN_FIGURES:
             # Snapshot the shared cache counters so the line printed after
             # this figure shows its own hits/stores, not the running total.
             before = replace(cache.stats) if cache is not None else None
-            result = runners[name](
-                scale, jobs=args.jobs, cache=cache, force=args.force
-            )
+            kwargs = {"jobs": args.jobs, "cache": cache, "force": args.force}
+            if name == "fig6":
+                kwargs["stream"] = args.stream
+            result = runners[name](scale, **kwargs)
         elif name == "fig9":
             result = runners[name](scale, jobs=args.jobs)
         else:
@@ -161,6 +194,11 @@ def main(argv: list[str] | None = None) -> int:
         text = result.render()
         print(text)
         print(f"[{name} done in {elapsed:.1f}s at scale={scale.name}]")
+        if name == "aggregate":
+            print(
+                f"[aggregate {cache_dir}: {result.n_cases}/{len(result.specs)} "
+                "cases summarized, nothing recomputed]"
+            )
         if cache is not None and name in _CAMPAIGN_FIGURES:
             s, b = cache.stats, before
             corrupt = s.corrupt - b.corrupt

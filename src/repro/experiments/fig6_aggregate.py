@@ -8,6 +8,13 @@ cases with ≤ 100 nodes.  The headline reading:
 * E(M) correlates strongly (≈ 0.77) but imperfectly with that block;
 * slack anti-correlates with everything (it is *not* a robustness proxy);
 * raw R(γ) correlates weakly, but R(γ)/E(M) correlates ≈ 0.998 with σ_M.
+
+Both the campaign runner (:func:`run`) and the cache summarizer
+(:func:`aggregate_from_cache`) reduce case results through the same
+streaming :class:`~repro.campaign.aggregate.SuiteAggregator` in the same
+case order, so their matrices and §VII statistic are **bit-identical** —
+and neither ever holds more than one case panel in memory unless raw
+panels are explicitly requested.
 """
 
 from __future__ import annotations
@@ -16,33 +23,46 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.campaign import ArtifactCache, Campaign, expand_suite
-from repro.core.correlation import aggregate_matrices, pearson
+from repro.campaign import ArtifactCache, Campaign, SuiteAggregator, expand_suite
 from repro.core.study import CaseResult
 from repro.experiments.cases import CaseSpec, default_suite
 from repro.experiments.scale import Scale, get_scale
 from repro.core.metrics import METRIC_NAMES
 from repro.util.tables import format_matrix, format_table
 
-__all__ = ["Fig6Result", "run"]
+__all__ = ["Fig6Result", "run", "aggregate_from_cache"]
 
 
 @dataclass(frozen=True)
 class Fig6Result:
-    """Aggregated Pearson statistics over the case suite."""
+    """Aggregated Pearson statistics over the case suite.
+
+    ``case_results`` is ``None`` in streaming mode (the default for cache
+    aggregation, opt-in via ``keep_case_results`` for :func:`run`): the
+    summary statistics are folded case by case and the raw panels are
+    dropped, so memory stays O(1) in the suite size.  ``n_cases`` counts
+    the cases actually aggregated — it can be smaller than ``len(specs)``
+    when summarizing the cache of an interrupted sweep, in which case the
+    statistics are the exact aggregate of the completed cases.
+    """
 
     specs: tuple[CaseSpec, ...]
     mean: np.ndarray
     std: np.ndarray
     rel_over_m_vs_std_mean: float
     rel_over_m_vs_std_std: float
-    case_results: tuple[CaseResult, ...]
+    n_cases: int
+    heuristic_rows: tuple[tuple[str, str, float, float, float, float], ...]
+    case_results: tuple[CaseResult, ...] | None = None
 
     def render(self) -> str:
         """Figure 6 as a combined mean/σ matrix plus the §VII statistic."""
+        suffix = "" if self.n_cases == len(self.specs) else (
+            f" (partial: {self.n_cases}/{len(self.specs)} cases)"
+        )
         lines = [
-            f"Fig. 6 — Pearson coefficients over {len(self.specs)} cases "
-            "(upper: mean, lower: std. dev.)",
+            f"Fig. 6 — Pearson coefficients over {self.n_cases} cases "
+            f"(upper: mean, lower: std. dev.){suffix}",
             format_matrix(self.mean, list(METRIC_NAMES), lower=self.std),
             "",
             "§VII derived metric: corr( R(γ)/E(M), σ_M ) = "
@@ -52,28 +72,34 @@ class Fig6Result:
         return "\n".join(lines)
 
     def heuristic_summary(self) -> str:
-        """How often each heuristic beats the random population (per case)."""
-        rows = []
-        for spec, case in zip(self.specs, self.case_results):
-            n_rand = case.panel.n_schedules - len(case.heuristic_metrics)
-            rand_ms = case.panel.column("makespan")[:n_rand]
-            rand_std = case.panel.column("makespan_std")[:n_rand]
-            for name, hm in sorted(case.heuristic_metrics.items()):
-                rows.append(
-                    (
-                        spec.name,
-                        name,
-                        hm.makespan,
-                        float((rand_ms < hm.makespan).mean()),
-                        hm.makespan_std,
-                        float((rand_std < hm.makespan_std).mean()),
-                    )
-                )
+        """How often each heuristic beats the random population (per case).
+
+        Computed from the per-case summary rows folded during aggregation,
+        so it is available in streaming mode too (no panels required).
+        """
         return format_table(
             ["case", "heuristic", "makespan", "frac rand better (M)",
              "σ_M", "frac rand better (σ)"],
-            rows,
+            list(self.heuristic_rows),
         )
+
+
+def _result_from_aggregate(
+    specs: list[CaseSpec],
+    aggregator: SuiteAggregator,
+    case_results: tuple[CaseResult, ...] | None,
+) -> Fig6Result:
+    agg = aggregator.finalize()
+    return Fig6Result(
+        specs=tuple(specs),
+        mean=agg.mean,
+        std=agg.std,
+        rel_over_m_vs_std_mean=agg.rel_mean,
+        rel_over_m_vs_std_std=agg.rel_std,
+        n_cases=agg.n_cases,
+        heuristic_rows=agg.heuristic_rows,
+        case_results=case_results,
+    )
 
 
 def run(
@@ -83,13 +109,23 @@ def run(
     jobs: int = 1,
     cache: ArtifactCache | None = None,
     force: bool = False,
+    stream: bool = False,
+    keep_case_results: bool | None = None,
 ) -> Fig6Result:
     """Run the case suite and aggregate the Pearson matrices.
 
     The suite is expanded into a campaign: ``jobs`` cases run concurrently
     in worker processes (results are bit-identical to ``jobs=1`` because
     each case's RNG stream is derived from its own spec), and with
-    ``cache`` set completed cases are reused across runs.
+    ``cache`` set completed cases are reused across runs.  Results are
+    consumed from the runner's as-completed stream and folded into a
+    :class:`~repro.campaign.aggregate.SuiteAggregator` in case order, so
+    the aggregate does not depend on completion order.
+
+    With ``stream=True`` the raw :class:`CaseResult` panels are dropped as
+    soon as each case is folded — O(1) memory in the suite size.
+    ``keep_case_results`` overrides the retention default (``not stream``)
+    for tests and post-hoc analyses that need the raw panels.
     """
     scale = get_scale(scale)
     if specs is None:
@@ -100,21 +136,53 @@ def run(
         cache=cache,
         force=force,
     )
-    results = campaign.run()
-    rel_corrs: list[float] = []
-    for spec, case in zip(specs, results):
-        n_random = scale.n_random(spec.n_tasks)
-        rel_over_m = case.panel.oriented_rel_prob_over_makespan()[:n_random]
-        std = case.panel.column("makespan_std")[:n_random]
-        rel_corrs.append(pearson(rel_over_m, std))
-    mean, std = aggregate_matrices([c.pearson for c in results])
-    rel = np.asarray(rel_corrs)
-    rel = rel[np.isfinite(rel)]
-    return Fig6Result(
-        specs=tuple(specs),
-        mean=mean,
-        std=std,
-        rel_over_m_vs_std_mean=float(rel.mean()),
-        rel_over_m_vs_std_std=float(rel.std()),
-        case_results=tuple(results),
+    keep = (not stream) if keep_case_results is None else keep_case_results
+    aggregator = SuiteAggregator()
+    kept: dict[int, CaseResult] = {}
+    for index, case, result in campaign.iter_results():
+        aggregator.add_case(index, case, result)
+        if keep:
+            kept[index] = result
+    case_results = (
+        tuple(kept[i] for i in range(len(specs))) if keep else None
     )
+    return _result_from_aggregate(specs, aggregator, case_results)
+
+
+def aggregate_from_cache(
+    scale: Scale | str | None = None,
+    seed: int = 20070913,
+    specs: list[CaseSpec] | None = None,
+    cache: ArtifactCache | None = None,
+) -> Fig6Result:
+    """Summarize an existing campaign cache — no case is ever recomputed.
+
+    Expands the same suite as :func:`run` (same scale, same seed, hence the
+    same artifact keys), streams each case's artifact through the same
+    aggregator in the same order, and drops it — peak memory is one panel.
+    On a complete cache the result is bit-identical to :func:`run`; on the
+    cache of an interrupted sweep the aggregate is exact for the cases that
+    completed (``n_cases`` reports how many), and missing cases are simply
+    skipped.
+
+    Raises :class:`ValueError` when the cache holds no artifact of the
+    suite at all.
+    """
+    if cache is None:
+        raise ValueError("aggregate_from_cache requires an artifact cache")
+    scale = get_scale(scale)
+    if specs is None:
+        specs = default_suite()
+    cases = expand_suite(specs, scale, base_seed=seed)
+    # Cache iteration visits cases in case order, so immediate folding
+    # (ordered=False) follows the same canonical fold sequence as `run` —
+    # while tolerating holes left by interrupted sweeps.
+    aggregator = SuiteAggregator(ordered=False)
+    for index, case, result in cache.iter_results(cases):
+        aggregator.add_case(index, case, result)
+    if aggregator.n_cases == 0:
+        raise ValueError(
+            f"no artifacts of this suite (scale={scale.name}, seed={seed}) "
+            f"found in {cache.root}"
+        )
+    return _result_from_aggregate(specs, aggregator, None)

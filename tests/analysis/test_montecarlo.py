@@ -5,6 +5,7 @@ import pytest
 
 from repro.analysis import sample_makespans
 from repro.analysis.montecarlo import (
+    _propagate_times,
     empirical_cdf,
     sample_makespans_batch,
     sample_task_times,
@@ -12,6 +13,50 @@ from repro.analysis.montecarlo import (
 from repro.schedule import heft, random_schedule
 from repro.schedule.random_schedule import random_schedules
 from repro.stochastic import StochasticModel
+from repro.util.rng import as_generator
+
+
+def _per_schedule_batch_reference(schedules, model, rng, n_realizations):
+    """The historical per-schedule shared-draw loop (pre-vectorization).
+
+    Draws exactly the same Beta blocks as :func:`sample_makespans_batch`
+    and replays each schedule separately through
+    :func:`_propagate_times` — the ground truth the across-schedule
+    vectorized propagation must reproduce bit-for-bit.
+    """
+    w = schedules[0].workload
+    gen = as_generator(rng)
+    n = w.n_tasks
+    b_task = (
+        None
+        if model.ul == 1.0
+        else gen.beta(model.alpha, model.beta, size=(n_realizations, n))
+    )
+    b_edge = {}
+    if model.ul > 1.0:
+        for u, v, volume in sorted(w.graph.edges()):
+            if volume:
+                b_edge[(u, v)] = gen.beta(
+                    model.alpha, model.beta, size=n_realizations
+                )
+    spread = model.ul - 1.0
+    makespans = np.empty((len(schedules), n_realizations))
+    for i, schedule in enumerate(schedules):
+        mins = schedule.min_durations()
+        durations = (
+            np.broadcast_to(mins, (n_realizations, n)).copy()
+            if b_task is None
+            else mins * (1.0 + spread * b_task)
+        )
+        comm_samples = {}
+        for u, v, c in schedule.comm_edges():
+            b = b_edge.get((u, v))
+            comm_samples[(u, v)] = (
+                np.full(n_realizations, c) if b is None else c * (1.0 + spread * b)
+            )
+        _, finish = _propagate_times(schedule, durations, comm_samples)
+        makespans[i] = finish.max(axis=1)
+    return makespans
 
 
 class TestSampling:
@@ -142,6 +187,30 @@ class TestBatchSampling:
         ms = sample_makespans_batch(scheds, det, rng=0, n_realizations=3)
         for i, s in enumerate(scheds):
             assert np.allclose(ms[i], s.makespan)
+
+    @pytest.mark.parametrize("ul", [1.0, 1.01, 1.1])
+    def test_across_schedule_vectorization_matches_per_schedule_loop(
+        self, small_workload, ul
+    ):
+        # The vectorized propagation must be *bit-identical* to replaying
+        # each schedule separately against the same shared draws.
+        scheds = list(random_schedules(small_workload, 7, rng=11))
+        scheds.append(heft(small_workload))
+        m = StochasticModel(ul=ul)
+        ref = _per_schedule_batch_reference(scheds, m, 123, 400)
+        vec = sample_makespans_batch(scheds, m, 123, 400)
+        assert np.array_equal(ref, vec)
+
+    def test_vectorization_chunk_size_does_not_change_values(
+        self, small_workload, model, monkeypatch
+    ):
+        import repro.analysis.montecarlo as mc
+
+        scheds = list(random_schedules(small_workload, 6, rng=12))
+        full = sample_makespans_batch(scheds, model, 5, 200)
+        monkeypatch.setattr(mc, "_BATCH_TARGET_ELEMS", 1)  # chunk = 1 schedule
+        tiny_chunks = sample_makespans_batch(scheds, model, 5, 200)
+        assert np.array_equal(full, tiny_chunks)
 
     def test_mixed_workloads_rejected(self, small_workload, medium_workload, model):
         a = heft(small_workload)

@@ -92,3 +92,52 @@ class TestCampaignFlags:
     def test_fig9_accepts_jobs(self, capsys):
         assert main(["fig9", "--jobs", "2"]) == 0
         assert "Fig. 9" in capsys.readouterr().out
+
+
+class TestAggregateSubcommand:
+    @staticmethod
+    def _mini_suite(monkeypatch):
+        from repro.experiments.cases import CaseSpec
+        from repro.experiments import fig6_aggregate
+
+        monkeypatch.setattr(
+            fig6_aggregate, "default_suite", lambda: [CaseSpec("cholesky", 3, 1.01)]
+        )
+
+    def test_aggregate_requires_cache(self):
+        with pytest.raises(SystemExit):
+            main(["aggregate"])
+
+    def test_aggregate_empty_cache_is_clean_cli_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["aggregate", "--cache-dir", str(tmp_path / "nothing-here")])
+        assert "no artifacts" in capsys.readouterr().err
+
+    def test_aggregate_reproduces_fig6_without_recomputation(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        self._mini_suite(monkeypatch)
+        cache_dir = tmp_path / "cache"
+        assert main(["fig6", "--cache-dir", str(cache_dir)]) == 0
+        fig6_report = capsys.readouterr().out.splitlines()
+
+        def boom(self):  # pragma: no cover - must never run from `aggregate`
+            raise AssertionError("aggregate recomputed a case")
+
+        monkeypatch.setattr(CampaignCase, "run", boom)
+        assert main(["aggregate", "--cache-dir", str(cache_dir)]) == 0
+        agg_report = capsys.readouterr().out.splitlines()
+        # Identical report body (matrix + §VII line); the three footer
+        # lines (timing, cache/aggregate info, blank) legitimately differ.
+        assert agg_report[:-3] == fig6_report[:-3]
+        assert any("nothing recomputed" in line for line in agg_report)
+
+    def test_stream_flag_keeps_report_identical(self, capsys, tmp_path, monkeypatch):
+        self._mini_suite(monkeypatch)
+        cache_dir = tmp_path / "cache"
+        assert main(["fig6", "--cache-dir", str(cache_dir)]) == 0
+        plain = capsys.readouterr().out.splitlines()
+        assert main(["fig6", "--cache-dir", str(cache_dir), "--stream"]) == 0
+        streamed = capsys.readouterr().out.splitlines()
+        # Same report; only the timing/cache footer lines may differ.
+        assert streamed[:-3] == plain[:-3]

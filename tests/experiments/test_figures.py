@@ -135,6 +135,15 @@ class TestFig9:
         assert by_label["c_serial"] > by_label["a_spread"]
         assert by_label["c_serial"] > by_label["b_balanced"]
 
+    def test_streamed_median_tracks_the_mean(self):
+        # The P²-estimated p50 of a narrow makespan distribution must land
+        # within a few σ of the mean for every quadrant schedule.
+        res = fig9_slack_quadrants.run(TINY)
+        for mean, std, median in zip(
+            res.makespans, res.makespan_stds, res.makespan_medians
+        ):
+            assert abs(median - mean) < 4 * std
+
     def test_parallel_identical_to_serial(self):
         # Each quadrant samples from its own spawned child stream, so the
         # process fan-out cannot change the numbers.
