@@ -1,0 +1,273 @@
+"""Old-vs-new benchmarks of the flat-CSR kernel layer (BENCH_core.json).
+
+Every benchmark here times a *pair*: the frozen pre-kernel implementation
+(:mod:`repro.analysis._reference` / :mod:`repro.schedule._reference` —
+per-task/per-predecessor Python loops, legacy slot-list timelines) against
+the CSR kernel that replaced it, on the same inputs, and records
+``(op, shape, ns/op, baseline ns/op, ratio)`` rows into
+``BENCH_core.json``.  The pairs are bit-identical (the equivalence suite
+asserts it), so the ratio is a pure speed measurement.
+
+Two regimes are reported for the Monte-Carlo sampler because they behave
+very differently (see ``docs/performance.md``): at paper-scale realization
+counts the Beta *draws* — which must stay bit-identical and therefore
+cannot be accelerated — dominate the runtime and cap the end-to-end
+speedup near 1×, while propagation-bound regimes (small R, deterministic
+replay, level/rank passes, scheduling) see the full kernel gain.
+
+Uses plain ``time.perf_counter`` best-of-N timing, so it runs without
+pytest-benchmark (the CI smoke job).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import sample_makespans
+from repro.analysis._reference import (
+    replay_inflated_reference,
+    replay_reference,
+    sample_task_times_reference,
+    slack_levels_reference,
+)
+from repro.analysis.montecarlo import sample_makespans_batch
+from repro.core.related import _replay_makespan
+from repro.core.slack import slack_analysis
+from repro.platform import cholesky_workload, ge_workload, random_workload
+from repro.schedule import bil, bmct, cpop, dls, heft
+from repro.schedule._kernel import bil_levels, upward_ranks
+from repro.schedule._reference import (
+    bil_levels_reference,
+    bil_reference,
+    bmct_reference,
+    cpop_reference,
+    dls_reference,
+    heft_reference,
+    upward_ranks_reference,
+)
+from repro.schedule.random_schedule import random_schedules
+from repro.stochastic import StochasticModel
+
+
+def best_of(fn, reps: int) -> float:
+    """Best-of-``reps`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="module")
+def model():
+    return StochasticModel(ul=1.1)
+
+
+def _pair(record_bench, op, shape, old_fn, new_fn, reps):
+    old = best_of(old_fn, reps)
+    new = best_of(new_fn, reps)
+    record_bench(
+        op=op,
+        shape=shape,
+        ns_per_op=new * 1e9,
+        baseline_ns_per_op=old * 1e9,
+        ratio=old / new,
+    )
+    return old / new
+
+
+# ---------------------------------------------------------------------- #
+# Monte-Carlo sampling (fig-6 graph shapes)
+# ---------------------------------------------------------------------- #
+
+
+class TestSampleMakespans:
+    """End-to-end ``sample_makespans``: old loop vs CSR kernel.
+
+    The per-edge/per-task Beta draws are bit-identical in both and set a
+    hard floor; the large-R rows therefore measure the propagation gain
+    *diluted by the draw floor*, the small-R rows the propagation gain
+    itself.
+    """
+
+    @pytest.mark.parametrize(
+        "name,maker",
+        [
+            ("cholesky_n84_m4", lambda: cholesky_workload(7, 4, rng=1)),
+            ("ge_n90_m8", lambda: ge_workload(13, 8, rng=2)),
+            ("random_n100_m8", lambda: random_workload(100, 8, rng=3)),
+        ],
+    )
+    @pytest.mark.parametrize("n_realizations", [200, 10_000])
+    def test_sample_makespans(
+        self, record_bench, bench_quick, model, name, maker, n_realizations
+    ):
+        if bench_quick and n_realizations > 200:
+            n_realizations = 2_000
+        w = maker()
+        s = heft(w)
+        reps = 3 if n_realizations >= 2_000 else 10
+        ratio = _pair(
+            record_bench,
+            "sample_makespans",
+            f"{name}_R{n_realizations}",
+            lambda: sample_task_times_reference(s, model, 0, n_realizations)[1].max(
+                axis=1
+            ),
+            lambda: sample_makespans(s, model, 0, n_realizations),
+            reps,
+        )
+        assert ratio > (0.5 if bench_quick else 0.7)  # never regress the sampler
+
+
+class TestSampleMakespansPopulation:
+    """Fig-6-style population sampling: per-task loop vs batched kernel.
+
+    The campaign's Monte-Carlo workload: one case's whole random
+    population under shared draws.  ``old`` replays every schedule through
+    the historical per-predecessor loop; ``new`` is
+    :func:`sample_makespans_batch` (shared draw blocks + vectorized
+    across-schedule propagation).
+    """
+
+    def test_population(self, record_bench, bench_quick, model):
+        w = cholesky_workload(7, 8, rng=1)
+        n_sched, n_real = (8, 1_000) if bench_quick else (40, 10_000)
+        scheds = list(random_schedules(w, n_sched, rng=7)) + [heft(w)]
+
+        def old():
+            for s in scheds:
+                sample_task_times_reference(s, model, 0, n_real)
+
+        ratio = _pair(
+            record_bench,
+            "sample_makespans_population",
+            f"cholesky_n84_m8_S{len(scheds)}_R{n_real}",
+            old,
+            lambda: sample_makespans_batch(scheds, model, 0, n_real),
+            2,
+        )
+        assert ratio > (1.0 if bench_quick else 2.0)
+
+
+# ---------------------------------------------------------------------- #
+# deterministic propagation passes
+# ---------------------------------------------------------------------- #
+
+_PASS_REPS = 30
+
+
+class TestDeterministicPasses:
+    @pytest.fixture(scope="class")
+    def workload364(self):
+        return cholesky_workload(12, 8, rng=5)
+
+    @pytest.fixture(scope="class")
+    def schedule364(self, workload364):
+        return heft(workload364)
+
+    def test_replay(self, record_bench, bench_quick, schedule364):
+        dis = schedule364.disjunctive()
+        dur = schedule364.min_durations()
+        comm = schedule364.edge_min_comm()
+        reps = 5 if bench_quick else _PASS_REPS
+        ratio = _pair(
+            record_bench,
+            "eager_replay",
+            "cholesky_n364_m8",
+            lambda: replay_reference(schedule364),
+            lambda: dis.propagate(dur, comm),
+            reps,
+        )
+        assert ratio > (1.1 if bench_quick else 1.5)
+
+    def test_slack(self, record_bench, bench_quick, schedule364, model):
+        reps = 5 if bench_quick else _PASS_REPS
+        ratio = _pair(
+            record_bench,
+            "slack_analysis",
+            "cholesky_n364_m8",
+            lambda: slack_levels_reference(schedule364, model),
+            lambda: slack_analysis(schedule364, model),
+            reps,
+        )
+        assert ratio > (1.3 if bench_quick else 2.0)
+
+    def test_inflated_replay(self, record_bench, bench_quick, schedule364):
+        reps = 5 if bench_quick else _PASS_REPS
+        ratio = _pair(
+            record_bench,
+            "inflated_replay",
+            "cholesky_n364_m8",
+            lambda: replay_inflated_reference(schedule364, 0.37),
+            lambda: _replay_makespan(schedule364, 0.37),
+            reps,
+        )
+        assert ratio > (1.1 if bench_quick else 1.5)
+
+    def test_upward_ranks(self, record_bench, bench_quick, workload364):
+        reps = 5 if bench_quick else _PASS_REPS
+        ratio = _pair(
+            record_bench,
+            "upward_ranks",
+            "cholesky_n364_m8",
+            lambda: upward_ranks_reference(workload364),
+            lambda: upward_ranks(workload364),
+            reps,
+        )
+        assert ratio > (1.5 if bench_quick else 3.0)
+
+    def test_bil_levels(self, record_bench, bench_quick, workload364):
+        reps = 3 if bench_quick else 10
+        ratio = _pair(
+            record_bench,
+            "bil_levels",
+            "cholesky_n364_m8",
+            lambda: bil_levels_reference(workload364),
+            lambda: bil_levels(workload364),
+            reps,
+        )
+        assert ratio > (2.0 if bench_quick else 3.0)
+
+
+# ---------------------------------------------------------------------- #
+# list heuristics (the ≥2× HEFT acceptance line)
+# ---------------------------------------------------------------------- #
+
+
+class TestHeuristics:
+    @pytest.fixture(scope="class")
+    def workload364(self):
+        # ~300-task target: the b=12 tiled Cholesky DAG has 364 tasks.
+        return cholesky_workload(12, 8, rng=5)
+
+    @pytest.mark.parametrize(
+        "new_fn,old_fn,floor",
+        [
+            (heft, heft_reference, 2.0),
+            (cpop, cpop_reference, 2.0),
+            (dls, dls_reference, 2.0),
+            (bil, bil_reference, 2.0),
+            (bmct, bmct_reference, 0.8),  # balancing-loop bound
+        ],
+        ids=lambda f: getattr(f, "__name__", str(f)),
+    )
+    def test_heuristic(
+        self, record_bench, bench_quick, workload364, new_fn, old_fn, floor
+    ):
+        reps = 2 if bench_quick else 5
+        ratio = _pair(
+            record_bench,
+            new_fn.__name__,
+            "cholesky_n364_m8",
+            lambda: old_fn(workload364),
+            lambda: new_fn(workload364),
+            reps,
+        )
+        # Halve the floors under --bench-quick: best-of-2 timing on a
+        # noisy shared CI runner has little noise rejection.
+        assert ratio >= (floor / 2.0 if bench_quick else floor)

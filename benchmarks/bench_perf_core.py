@@ -5,6 +5,11 @@ pytest-benchmark rounds to track the cost of the primitive operations that
 dominate the harness: RV convolution, N-way maxima, the four evaluation
 engines and the scheduling heuristics.  Useful for catching performance
 regressions in the inner loops.
+
+Every measurement is also recorded as an ``(op, shape, ns/op)`` row in
+``BENCH_core.json`` (see ``benchmarks/conftest.py`` and
+``docs/performance.md``), so the perf trajectory is trackable across PRs;
+``benchmarks/bench_kernel.py`` adds the old-vs-new kernel ratios.
 """
 
 import numpy as np
@@ -19,6 +24,15 @@ from repro.analysis import (
 from repro.platform import cholesky_workload, random_workload
 from repro.schedule import bil, bmct, dls, heft
 from repro.stochastic import NumericRV, StochasticModel, beta_rv
+
+
+def timed(benchmark, record_bench, op, shape, fn, *args, **kwargs):
+    """Run ``benchmark`` and record the mean round as an ns/op row."""
+    result = benchmark(fn, *args, **kwargs)
+    stats = getattr(benchmark, "stats", None)
+    if stats is not None:  # absent under --benchmark-disable
+        record_bench(op=op, shape=shape, ns_per_op=stats.stats.mean * 1e9)
+    return result
 
 
 @pytest.fixture(scope="module")
@@ -37,33 +51,47 @@ def schedule35(workload35):
 
 
 class TestRvOps:
-    def test_rv_convolution(self, benchmark):
+    def test_rv_convolution(self, benchmark, record_bench):
         a = beta_rv(10.0, 11.0, grid_n=65)
         b = beta_rv(20.0, 22.0, grid_n=65)
-        benchmark(a.add, b)
+        timed(benchmark, record_bench, "rv_convolution", "grid65", a.add, b)
 
-    def test_rv_max8(self, benchmark):
+    def test_rv_max8(self, benchmark, record_bench):
         rvs = [beta_rv(10.0 + i, 12.0 + i, grid_n=65) for i in range(8)]
-        benchmark(NumericRV.max_of, rvs)
+        timed(benchmark, record_bench, "rv_max8", "grid65", NumericRV.max_of, rvs)
 
-    def test_rv_entropy(self, benchmark):
+    def test_rv_entropy(self, benchmark, record_bench):
         rv = beta_rv(10.0, 12.0, grid_n=129)
-        benchmark(rv.entropy)
+        timed(benchmark, record_bench, "rv_entropy", "grid129", rv.entropy)
 
 
 class TestEngines:
-    def test_classical_cholesky35(self, benchmark, schedule35, model):
-        benchmark(classical_makespan, schedule35, model)
+    def test_classical_cholesky35(self, benchmark, record_bench, schedule35, model):
+        timed(
+            benchmark, record_bench, "classical", "cholesky_n35_m4",
+            classical_makespan, schedule35, model,
+        )
 
-    def test_dodin_cholesky35(self, benchmark, schedule35, model):
-        benchmark(dodin_makespan, schedule35, model)
+    def test_dodin_cholesky35(self, benchmark, record_bench, schedule35, model):
+        timed(
+            benchmark, record_bench, "dodin", "cholesky_n35_m4",
+            dodin_makespan, schedule35, model,
+        )
 
-    def test_spelde_cholesky35(self, benchmark, schedule35, model):
-        benchmark(spelde_makespan, schedule35, model)
+    def test_spelde_cholesky35(self, benchmark, record_bench, schedule35, model):
+        timed(
+            benchmark, record_bench, "spelde", "cholesky_n35_m4",
+            spelde_makespan, schedule35, model,
+        )
 
-    def test_montecarlo_10k_cholesky35(self, benchmark, schedule35, model):
+    def test_montecarlo_10k_cholesky35(
+        self, benchmark, record_bench, schedule35, model
+    ):
         rng = np.random.default_rng(0)
-        benchmark(sample_makespans, schedule35, model, rng, 10_000)
+        timed(
+            benchmark, record_bench, "montecarlo_10k", "cholesky_n35_m4",
+            sample_makespans, schedule35, model, rng, 10_000,
+        )
 
 
 class TestHeuristics:
@@ -72,5 +100,7 @@ class TestHeuristics:
         return random_workload(60, 8, rng=2)
 
     @pytest.mark.parametrize("fn", [heft, bil, bmct, dls], ids=lambda f: f.__name__)
-    def test_heuristic_random60(self, benchmark, workload60, fn):
-        benchmark(fn, workload60)
+    def test_heuristic_random60(self, benchmark, record_bench, workload60, fn):
+        timed(
+            benchmark, record_bench, fn.__name__, "random_n60_m8", fn, workload60
+        )

@@ -1,0 +1,195 @@
+"""Frozen pre-kernel analysis implementations (bit-identity oracles).
+
+These are the per-task / per-predecessor Python loops that powered the
+engines before the flat-CSR kernel layer landed.  They are kept verbatim
+for two purposes:
+
+* **equivalence tests** — the kernel swap must be *bit-identical* (same
+  start/finish times, same sampled makespans, same slack values), which the
+  test suite verifies by running both implementations on the same inputs;
+* **benchmark baselines** — ``benchmarks/bench_kernel.py`` measures the
+  kernel speedups against these loops and records the ratios in
+  ``BENCH_core.json``.
+
+Nothing in the library calls this module on any hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedule.schedule import Schedule
+from repro.stochastic.model import StochasticModel
+from repro.util.rng import as_generator
+
+__all__ = [
+    "propagate_times_reference",
+    "replay_reference",
+    "sample_task_times_reference",
+    "slack_levels_reference",
+    "replay_inflated_reference",
+]
+
+
+def propagate_times_reference(
+    schedule: Schedule,
+    durations: np.ndarray,
+    comm_samples: dict[tuple[int, int], np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """The historical per-task ``(R, n)`` disjunctive-graph propagation."""
+    n_realizations, n = durations.shape
+    dis = schedule.disjunctive()
+    proc = schedule.proc
+    start = np.zeros((n_realizations, n))
+    finish = np.zeros((n_realizations, n))
+    for v in dis.topo:
+        v = int(v)
+        acc: np.ndarray | None = None
+        for u, volume in dis.preds[v]:
+            arrival = finish[:, u]
+            if volume is not None and int(proc[u]) != int(proc[v]):
+                comm = comm_samples.get((u, v))
+                if comm is not None:
+                    arrival = arrival + comm
+            acc = arrival if acc is None else np.maximum(acc, arrival)
+        if acc is not None:
+            start[:, v] = acc
+        finish[:, v] = start[:, v] + durations[:, v]
+    return start, finish
+
+
+def sample_task_times_reference(
+    schedule: Schedule,
+    model: StochasticModel,
+    rng: int | None | np.random.Generator = None,
+    n_realizations: int = 10_000,
+    shared_links: bool = False,
+    task_ul: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Historical ``sample_task_times``: same draws, per-task propagation."""
+    if n_realizations < 1:
+        raise ValueError(f"need ≥ 1 realization, got {n_realizations}")
+    gen = as_generator(rng)
+    w = schedule.workload
+    n = w.n_tasks
+    proc = schedule.proc
+
+    if task_ul is None:
+        durations = model.sample(
+            schedule.min_durations(), gen, size=(n_realizations, n)
+        )
+    else:
+        task_ul = np.asarray(task_ul, dtype=float)
+        if task_ul.shape != (n,):
+            raise ValueError(f"task_ul must have shape ({n},), got {task_ul.shape}")
+        if np.any(task_ul < 1.0):
+            raise ValueError("per-task uncertainty levels must be ≥ 1")
+        mins = schedule.min_durations()
+        b = gen.beta(model.alpha, model.beta, size=(n_realizations, n))
+        durations = mins * (1.0 + (task_ul - 1.0) * b)
+
+    comm_samples: dict[tuple[int, int], np.ndarray] = {}
+    if shared_links:
+        factors = 1.0 + (model.ul - 1.0) * gen.beta(
+            model.alpha, model.beta, size=(n_realizations, w.m, w.m)
+        )
+        for u, v, c in schedule.comm_edges():
+            p, q = int(proc[u]), int(proc[v])
+            comm_samples[(u, v)] = c * factors[:, p, q]
+    else:
+        for u, v, c in schedule.comm_edges():
+            comm_samples[(u, v)] = model.sample(c, gen, size=n_realizations)
+
+    return propagate_times_reference(schedule, durations, comm_samples)
+
+
+def replay_reference(schedule: Schedule) -> tuple[np.ndarray, np.ndarray]:
+    """Historical eager replay under minimum durations (per-task loop)."""
+    w = schedule.workload
+    dis = schedule.disjunctive()
+    proc = schedule.proc
+    n = w.n_tasks
+    start = np.zeros(n)
+    finish = np.zeros(n)
+    comp = w.comp
+    platform = w.platform
+    for v in dis.topo:
+        v = int(v)
+        t = 0.0
+        pv = int(proc[v])
+        for u, volume in dis.preds[v]:
+            comm = 0.0
+            pu = int(proc[u])
+            if volume is not None and pu != pv:
+                comm = platform.comm_time(volume, pu, pv)
+            arrival = finish[u] + comm
+            if arrival > t:
+                t = arrival
+        start[v] = t
+        finish[v] = t + comp[v, pv]
+    return start, finish
+
+
+def slack_levels_reference(
+    schedule: Schedule, model: StochasticModel
+) -> tuple[np.ndarray, np.ndarray]:
+    """Historical mean-value top/bottom level computation (per-task loops)."""
+    w = schedule.workload
+    dis = schedule.disjunctive()
+    proc = schedule.proc
+    n = w.n_tasks
+
+    durations = np.asarray(model.mean(schedule.min_durations()), dtype=float)
+
+    def comm_mean(u: int, v: int, volume: float | None) -> float:
+        if volume is None:
+            return 0.0
+        pu, pv = int(proc[u]), int(proc[v])
+        if pu == pv:
+            return 0.0
+        return float(model.mean(w.platform.comm_time(volume, pu, pv)))
+
+    topo = dis.topo
+    tl = np.zeros(n)
+    for v in topo:
+        v = int(v)
+        for u, volume in dis.preds[v]:
+            cand = tl[u] + durations[u] + comm_mean(u, v, volume)
+            if cand > tl[v]:
+                tl[v] = cand
+
+    succs: list[list[tuple[int, float | None]]] = [[] for _ in range(n)]
+    for v in range(n):
+        for u, volume in dis.preds[v]:
+            succs[u].append((v, volume))
+    bl = np.zeros(n)
+    for v in topo[::-1]:
+        v = int(v)
+        tail = 0.0
+        for s, volume in succs[v]:
+            cand = comm_mean(v, s, volume) + bl[s]
+            if cand > tail:
+                tail = cand
+        bl[v] = durations[v] + tail
+    return tl, bl
+
+
+def replay_inflated_reference(schedule: Schedule, inflation: float) -> float:
+    """Historical uniformly-inflated eager replay (robustness radius core)."""
+    w = schedule.workload
+    dis = schedule.disjunctive()
+    proc = schedule.proc
+    factor = 1.0 + inflation
+    finish = np.zeros(w.n_tasks)
+    for v in dis.topo:
+        v = int(v)
+        start = 0.0
+        pv = int(proc[v])
+        for u, volume in dis.preds[v]:
+            comm = 0.0
+            pu = int(proc[u])
+            if volume is not None and pu != pv:
+                comm = w.platform.comm_time(volume, pu, pv) * factor
+            start = max(start, finish[u] + comm)
+        finish[v] = start + w.comp[v, pv] * factor
+    return float(finish.max())

@@ -12,6 +12,8 @@ reproduces that validation).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.schedule.schedule import Schedule
 from repro.stochastic.model import StochasticModel
 from repro.stochastic.rv import NumericRV
@@ -22,22 +24,27 @@ __all__ = ["classical_makespan", "classical_task_finishes"]
 def classical_task_finishes(
     schedule: Schedule, model: StochasticModel
 ) -> list[NumericRV]:
-    """Finish-time RV of every task under the independence assumption."""
+    """Finish-time RV of every task under the independence assumption.
+
+    Walks the schedule's flat CSR arrays in topological order; the per-task
+    predecessor order (and therefore every grid operation) matches the
+    historical nested-tuple walk exactly.
+    """
     w = schedule.workload
     dis = schedule.disjunctive()
     proc = schedule.proc
+    edge_comm = schedule.edge_min_comm()
+    ep, src = dis.edge_ptr, dis.edge_src
     finishes: list[NumericRV | None] = [None] * w.n_tasks
-    for v in dis.topo:
+    for i, v in enumerate(dis.topo):
         v = int(v)
         parts: list[NumericRV] = []
-        for u, volume in dis.preds[v]:
-            fu = finishes[u]
+        for e in range(int(ep[i]), int(ep[i + 1])):
+            fu = finishes[int(src[e])]
             assert fu is not None, "topological order violated"
-            pu, pv = int(proc[u]), int(proc[v])
-            if volume is not None and pu != pv:
-                c = w.platform.comm_time(volume, pu, pv)
-                if c > 0.0:
-                    fu = fu.add(model.rv(c))
+            c = float(edge_comm[e])
+            if c > 0.0:
+                fu = fu.add(model.rv(c))
             parts.append(fu)
         if parts:
             start = NumericRV.max_of(parts)
@@ -61,8 +68,6 @@ def disjunctive_sinks(schedule: Schedule) -> list[int]:
     the independence assumption.
     """
     dis = schedule.disjunctive()
-    has_succ = set()
-    for v in range(schedule.workload.n_tasks):
-        for u, _ in dis.preds[v]:
-            has_succ.add(u)
-    return [v for v in range(schedule.workload.n_tasks) if v not in has_succ]
+    has_succ = np.zeros(schedule.workload.n_tasks, dtype=bool)
+    has_succ[dis.edge_src] = True
+    return [int(v) for v in np.flatnonzero(~has_succ)]

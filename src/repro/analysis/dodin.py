@@ -26,9 +26,8 @@ for same-processor and disjunctive arcs).
 
 from __future__ import annotations
 
-import itertools
-
 import networkx as nx
+import numpy as np
 
 from repro.schedule.schedule import Schedule
 from repro.stochastic.model import StochasticModel
@@ -44,6 +43,8 @@ def _activity_network(schedule: Schedule, model: StochasticModel) -> nx.MultiDiG
     w = schedule.workload
     dis = schedule.disjunctive()
     proc = schedule.proc
+    edge_comm = schedule.edge_min_comm()
+    pos, ep, src = dis.topo_pos, dis.edge_ptr, dis.edge_src
     g = nx.MultiDiGraph()
 
     def vin(v: int) -> tuple[str, int]:
@@ -55,21 +56,19 @@ def _activity_network(schedule: Schedule, model: StochasticModel) -> nx.MultiDiG
     n = w.n_tasks
     for v in range(n):
         g.add_edge(vin(v), vout(v), rv=model.rv(w.duration(v, int(proc[v]))))
-    has_succ = set()
+    has_succ = np.zeros(n, dtype=bool)
+    has_succ[src] = True
     for v in range(n):
-        for u, volume in dis.preds[v]:
-            has_succ.add(u)
-            if volume is not None and int(proc[u]) != int(proc[v]):
-                c = w.platform.comm_time(volume, int(proc[u]), int(proc[v]))
-                rv = model.rv(c) if c > 0 else NumericRV.point(0.0)
-            else:
-                rv = NumericRV.point(0.0)
-            g.add_edge(vout(u), vin(v), rv=rv)
-    for v in range(n):
-        if not dis.preds[v]:
-            g.add_edge(_SOURCE, vin(v), rv=NumericRV.point(0.0))
-        if v not in has_succ:
-            g.add_edge(vout(v), _SINK, rv=NumericRV.point(0.0))
+        i = int(pos[v])
+        for e in range(int(ep[i]), int(ep[i + 1])):
+            c = float(edge_comm[e])
+            rv = model.rv(c) if c > 0 else NumericRV.point(0.0)
+            g.add_edge(vout(int(src[e])), vin(v), rv=rv)
+    indeg_zero = np.flatnonzero(ep[pos + 1] == ep[pos])
+    for v in indeg_zero:
+        g.add_edge(_SOURCE, vin(int(v)), rv=NumericRV.point(0.0))
+    for v in np.flatnonzero(~has_succ):
+        g.add_edge(vout(int(v)), _SINK, rv=NumericRV.point(0.0))
     return g
 
 

@@ -37,27 +37,37 @@ def _propagate_times(
     """Eagerly replay ``schedule`` for ``(R, n)`` sampled durations.
 
     The disjunctive-graph longest-path propagation shared by the
-    per-schedule and the batched sampling paths.
+    per-schedule and the batched sampling paths, as a level-synchronous
+    pass over the schedule's CSR arrays: the per-edge samples are packed
+    into a compact ``(R, C)`` matrix indexed by CSR edge, and
+    :meth:`~repro.schedule.disjunctive.DisjunctiveGraph.propagate` resolves
+    a whole level per numpy call.  Edges absent from ``comm_samples``
+    receive no delay, exactly like the historical ``dict.get`` loop.
     """
-    n_realizations, n = durations.shape
     dis = schedule.disjunctive()
-    proc = schedule.proc
-    start = np.zeros((n_realizations, n))
-    finish = np.zeros((n_realizations, n))
-    for v in dis.topo:
-        v = int(v)
-        acc: np.ndarray | None = None
-        for u, volume in dis.preds[v]:
-            arrival = finish[:, u]
-            if volume is not None and int(proc[u]) != int(proc[v]):
-                comm = comm_samples.get((u, v))
-                if comm is not None:
-                    arrival = arrival + comm
-            acc = arrival if acc is None else np.maximum(acc, arrival)
-        if acc is not None:
-            start[:, v] = acc
-        finish[:, v] = start[:, v] + durations[:, v]
-    return start, finish
+    comm, comm_cols = _pack_comm_columns(dis, comm_samples)
+    return dis.propagate(durations, comm, comm_cols)
+
+
+def _pack_comm_columns(
+    dis, comm_samples: dict[tuple[int, int], np.ndarray]
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Stack per-edge sample vectors into propagation kernel inputs.
+
+    Returns ``(comm, comm_cols)``: an edge-major ``(C, ...)`` sample block
+    over the cross-processor edges that have samples, and the ``(E,)``
+    CSR-edge → row map (−1 where the edge carries no delay).
+    """
+    rows: list[np.ndarray] = []
+    comm_cols = np.full(dis.n_edges, -1, dtype=np.intp)
+    for e in np.flatnonzero(dis.edge_cross):
+        samp = comm_samples.get((int(dis.edge_src[e]), int(dis.edge_dst[e])))
+        if samp is not None:
+            comm_cols[e] = len(rows)
+            rows.append(samp)
+    if not rows:
+        return None, None
+    return np.stack(rows, axis=0), comm_cols
 
 
 def sample_task_times(
@@ -97,20 +107,48 @@ def sample_task_times(
         b = gen.beta(model.alpha, model.beta, size=(n_realizations, n))
         durations = mins * (1.0 + (task_ul - 1.0) * b)
 
-    # Pre-draw communication samples for every cross-processor application edge.
-    comm_samples: dict[tuple[int, int], np.ndarray] = {}
-    if shared_links:
-        factors = 1.0 + (model.ul - 1.0) * gen.beta(
-            model.alpha, model.beta, size=(n_realizations, w.m, w.m)
-        )
-        for u, v, c in schedule.comm_edges():
-            p, q = int(proc[u]), int(proc[v])
-            comm_samples[(u, v)] = c * factors[:, p, q]
-    else:
-        for u, v, c in schedule.comm_edges():
-            comm_samples[(u, v)] = model.sample(c, gen, size=n_realizations)
+    # Pre-draw communication samples for every cross-processor application
+    # edge, as one edge-major (C, R) block in ``comm_edges`` order.
+    edges = schedule.comm_edges()
+    block: np.ndarray | None = None
+    if edges:
+        if shared_links:
+            factors = 1.0 + (model.ul - 1.0) * gen.beta(
+                model.alpha, model.beta, size=(n_realizations, w.m, w.m)
+            )
+            block = np.stack(
+                [
+                    c * factors[:, int(proc[u]), int(proc[v])]
+                    for u, v, c in edges
+                ],
+                axis=0,
+            )
+        else:
+            # One batched Beta draw instead of one call per edge: numpy
+            # generates variates sequentially from the same bit stream, so
+            # the per-edge rows are bit-identical to the historical
+            # per-edge ``model.sample`` calls — just drawn in one shot.
+            cs = np.asarray([c for _, _, c in edges], dtype=float)
+            if model.ul == 1.0:
+                block = np.broadcast_to(
+                    cs[:, None], (len(edges), n_realizations)
+                ).copy()
+            else:
+                block = gen.beta(
+                    model.alpha, model.beta, size=(len(edges), n_realizations)
+                )
+                block *= model.ul - 1.0
+                block += 1.0
+                block *= cs[:, None]
+    elif shared_links:
+        # Preserve the historical draw stream: the factors block was drawn
+        # even when no edge consumed it.
+        gen.beta(model.alpha, model.beta, size=(n_realizations, w.m, w.m))
 
-    return _propagate_times(schedule, durations, comm_samples)
+    dis = schedule.disjunctive()
+    if block is None:
+        return dis.propagate(durations)
+    return dis.propagate(durations, block, schedule.comm_edge_cols)
 
 
 def sample_makespans(
@@ -141,6 +179,55 @@ def sample_makespans(
 _BATCH_TARGET_ELEMS = 1 << 18
 
 
+def _padded_pred_tables(
+    schedules: list[Schedule] | tuple[Schedule, ...],
+    edge_index: dict[tuple[int, int], int],
+) -> tuple[np.ndarray, ...]:
+    """Padded per-step predecessor tables of a schedule chunk, from CSR.
+
+    Returns ``(topo, pred_u, pred_mask, pred_c, pred_f)`` with the padded
+    ``(n, max_preds, S)`` layout of the across-schedule propagation: step
+    ``t`` of schedule ``s`` resolves task ``topo[s, t]`` whose ``p``-th
+    incoming edge (CSR order) sits in slot ``p``.  Built with vectorized
+    scatters from each schedule's flat CSR arrays — the historical
+    per-task/per-predecessor Python construction, minus the Python.
+    """
+    n_sched = len(schedules)
+    n = schedules[0].workload.n_tasks
+    max_preds = max(
+        1,
+        max(int(np.diff(s.disjunctive().edge_ptr).max()) for s in schedules),
+    )
+    topo = np.empty((n_sched, n), dtype=np.intp)
+    pred_u = np.zeros((n, max_preds, n_sched), dtype=np.intp)
+    pred_mask = np.zeros((n, max_preds, n_sched), dtype=bool)
+    pred_c = np.zeros((n, max_preds, n_sched))
+    pred_f = np.zeros((n, max_preds, n_sched), dtype=np.intp)
+    for s_i, schedule in enumerate(schedules):
+        dis = schedule.disjunctive()
+        topo[s_i] = dis.topo
+        counts = np.diff(dis.edge_ptr)
+        step = np.repeat(np.arange(n, dtype=np.intp), counts)
+        slot = np.arange(dis.n_edges, dtype=np.intp) - np.repeat(
+            dis.edge_ptr[:-1], counts
+        )
+        pred_u[step, slot, s_i] = dis.edge_src
+        pred_mask[step, slot, s_i] = True
+        pred_c[step, slot, s_i] = schedule.edge_min_comm()
+        # Factor row of every comm-carrying edge (0 = the all-ones row).
+        edges = schedule.comm_edges()
+        if edges:
+            frow = np.asarray(
+                [edge_index.get((u, v), 0) for u, v, _ in edges], dtype=np.intp
+            )
+            cols = schedule.comm_edge_cols
+            has = cols >= 0
+            edge_f = np.zeros(dis.n_edges, dtype=np.intp)
+            edge_f[has] = frow[cols[has]]
+            pred_f[step, slot, s_i] = edge_f
+    return topo, pred_u, pred_mask, pred_c, pred_f
+
+
 def _propagate_times_multi(
     schedules: list[Schedule] | tuple[Schedule, ...],
     durations: np.ndarray,
@@ -154,10 +241,10 @@ def _propagate_times_multi(
     communication rate factors (row 0 is all ones, used by edges whose
     communication time is deterministic).  Each schedule has its own
     disjunctive graph, so the tasks are walked step-by-step through the
-    *per-schedule* topological orders with padded predecessor index arrays:
-    step ``t`` resolves task ``topo[s][t]`` of every schedule ``s`` at once,
-    turning the Python-level loop from ``O(S · n · indeg)`` into
-    ``O(n · max_indeg)`` numpy operations on ``(S, R)`` blocks.
+    *per-schedule* topological orders with padded predecessor index arrays
+    (built vectorized from the CSR edge arrays): step ``t`` resolves task
+    ``topo[s][t]`` of every schedule ``s`` at once, turning the propagation
+    into ``O(n · max_indeg)`` numpy operations on ``(S, R)`` blocks.
 
     The arithmetic (duration reconstruction, arrival = finish + comm,
     running maximum in predecessor order) is element-for-element the same
@@ -166,42 +253,10 @@ def _propagate_times_multi(
     """
     n_sched, n_realizations, n = durations.shape
     sidx = np.arange(n_sched)
-
-    # Per-schedule topological orders and padded predecessor tables.
-    topo = np.empty((n_sched, n), dtype=np.intp)
-    preds: list[list[list[tuple[int, float, int]]]] = []
-    max_preds = 0
-    for s_i, schedule in enumerate(schedules):
-        dis = schedule.disjunctive()
-        proc = schedule.proc
-        comm_cost = dict(((u, v), c) for u, v, c in schedule.comm_edges())
-        topo[s_i] = dis.topo
-        rows: list[list[tuple[int, float, int]]] = []
-        for v in dis.topo:
-            v = int(v)
-            row: list[tuple[int, float, int]] = []
-            for u, volume in dis.preds[v]:
-                c = 0.0
-                f = 0
-                if volume is not None and int(proc[u]) != int(proc[v]):
-                    c = comm_cost.get((u, v), 0.0)
-                    f = edge_index.get((u, v), 0)
-                row.append((u, c, f))
-            rows.append(row)
-            max_preds = max(max_preds, len(row))
-        preds.append(rows)
-
-    pred_u = np.zeros((n, max_preds, n_sched), dtype=np.intp)
-    pred_mask = np.zeros((n, max_preds, n_sched), dtype=bool)
-    pred_c = np.zeros((n, max_preds, n_sched))
-    pred_f = np.zeros((n, max_preds, n_sched), dtype=np.intp)
-    for s_i, rows in enumerate(preds):
-        for t, row in enumerate(rows):
-            for p, (u, c, f) in enumerate(row):
-                pred_u[t, p, s_i] = u
-                pred_mask[t, p, s_i] = True
-                pred_c[t, p, s_i] = c
-                pred_f[t, p, s_i] = f
+    topo, pred_u, pred_mask, pred_c, pred_f = _padded_pred_tables(
+        schedules, edge_index
+    )
+    max_preds = pred_u.shape[1]
 
     # Per-(step, slot) occupancy, hoisted out of the hot loop.  Slots are
     # filled front-first, so the first globally-empty slot ends the scan.
@@ -264,10 +319,11 @@ def sample_makespans_batch(
 
     Propagation is vectorized across **schedules as well as realizations**:
     chunks of schedules are replayed simultaneously through
-    :func:`_propagate_times_multi` on ``(chunk, R, n)`` tensors, which is
-    bit-identical to (and considerably faster than) the historical
-    per-schedule loop — chunk size does not affect a single value because
-    all randomness is drawn up front.
+    :func:`_propagate_times_multi` on ``(chunk, R, n)`` tensors, whose
+    padded predecessor tables are now scatter-built from the schedules'
+    flat CSR edge arrays instead of per-task Python loops.  The result is
+    bit-identical to the historical per-schedule loop — chunk size does
+    not affect a single value because all randomness is drawn up front.
 
     The draw stream differs from per-schedule sampling by construction, but
     is fully deterministic in ``rng`` and independent of ``len(schedules)``
@@ -290,17 +346,25 @@ def sample_makespans_batch(
     else:
         b_task = gen.beta(model.alpha, model.beta, size=(n_realizations, n))
     # … and one shared Beta vector per application edge (drawn in the
-    # graph's canonical sorted edge order, independent of any schedule).
+    # graph's canonical sorted edge order, independent of any schedule —
+    # batched into one call, which yields the identical variate stream).
     spread = model.ul - 1.0
-    edge_rows: list[np.ndarray] = [np.ones(n_realizations)]
     edge_index: dict[tuple[int, int], int] = {}
     if model.ul > 1.0:
         for u, v, volume in sorted(w.graph.edges()):
             if volume:
-                b = gen.beta(model.alpha, model.beta, size=n_realizations)
-                edge_index[(u, v)] = len(edge_rows)
-                edge_rows.append(1.0 + spread * b)
-    edge_factors = np.stack(edge_rows)
+                edge_index[(u, v)] = len(edge_index) + 1
+    edge_factors = np.ones((len(edge_index) + 1, n_realizations))
+    if edge_index:
+        b = gen.beta(
+            model.alpha, model.beta, size=(len(edge_index), n_realizations)
+        )
+        # In place: spread·b, + 1 — commutative with the historical
+        # ``1.0 + spread * b``, hence bit-identical, without two extra
+        # hundreds-of-MB temporaries at paper scales.
+        b *= spread
+        b += 1.0
+        edge_factors[1:] = b
 
     task_factor = None if b_task is None else 1.0 + spread * b_task
     mins = np.stack([s.min_durations() for s in schedules])  # (S, n)

@@ -21,22 +21,27 @@ __all__ = ["spelde_makespan", "spelde_task_finishes"]
 def spelde_task_finishes(
     schedule: Schedule, model: StochasticModel
 ) -> list[NormalRV]:
-    """Finish-time Gaussian surrogate of every task."""
+    """Finish-time Gaussian surrogate of every task.
+
+    Walks the schedule's flat CSR arrays in topological order; the per-task
+    predecessor order — and therefore every (order-sensitive) Clark maximum
+    — matches the historical nested-tuple walk exactly.
+    """
     w = schedule.workload
     dis = schedule.disjunctive()
     proc = schedule.proc
+    edge_comm = schedule.edge_min_comm()
+    ep, src = dis.edge_ptr, dis.edge_src
     finishes: list[NormalRV | None] = [None] * w.n_tasks
-    for v in dis.topo:
+    for i, v in enumerate(dis.topo):
         v = int(v)
         parts: list[NormalRV] = []
-        for u, volume in dis.preds[v]:
-            fu = finishes[u]
+        for e in range(int(ep[i]), int(ep[i + 1])):
+            fu = finishes[int(src[e])]
             assert fu is not None, "topological order violated"
-            pu, pv = int(proc[u]), int(proc[v])
-            if volume is not None and pu != pv:
-                c = w.platform.comm_time(volume, pu, pv)
-                if c > 0.0:
-                    fu = fu + model.normal(c)
+            c = float(edge_comm[e])
+            if c > 0.0:
+                fu = fu + model.normal(c)
             parts.append(fu)
         start = NormalRV.max_of(parts) if parts else NormalRV.point(0.0)
         finishes[v] = start + model.normal(w.duration(v, int(proc[v])))

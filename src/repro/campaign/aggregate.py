@@ -33,7 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.streaming import MomentAccumulator
+from repro.analysis.streaming import MomentAccumulator, P2Quantile
 from repro.campaign.spec import CampaignCase
 from repro.core.correlation import pearson
 from repro.core.metrics import METRIC_NAMES
@@ -67,6 +67,10 @@ class CaseContribution:
     heuristic_rows:
         Per-heuristic summary rows ``(case, heuristic, makespan,
         frac_random_better_M, σ_M, frac_random_better_σ)``.
+    makespan_p50, makespan_p95:
+        ``P2Quantile``-streamed median and 95th percentile of the
+        random-schedule population's expected makespans (the ROADMAP
+        percentile column — O(1) memory like the rest of the reduction).
     """
 
     index: int
@@ -74,6 +78,8 @@ class CaseContribution:
     pearson: np.ndarray
     rel_corr: float
     heuristic_rows: tuple[tuple[str, str, float, float, float, float], ...]
+    makespan_p50: float = float("nan")
+    makespan_p95: float = float("nan")
 
 
 def case_contribution(
@@ -92,6 +98,14 @@ def case_contribution(
     rel_over_m = result.panel.oriented_rel_prob_over_makespan()[:n_random]
     std = result.panel.column("makespan_std")[:n_random]
     rel_corr = pearson(rel_over_m, std)
+
+    # Streamed percentile column: median/p95 expected makespan of the
+    # random population (P², so paper-scale populations stay O(1)).
+    p50, p95 = P2Quantile(0.5), P2Quantile(0.95)
+    for x in result.panel.column("makespan")[:n_random]:
+        if np.isfinite(x):
+            p50.add(float(x))
+            p95.add(float(x))
 
     rows = []
     n_rand_rows = result.panel.n_schedules - len(result.heuristic_metrics)
@@ -114,12 +128,19 @@ def case_contribution(
         pearson=np.asarray(result.pearson, dtype=float),
         rel_corr=rel_corr,
         heuristic_rows=tuple(rows),
+        makespan_p50=p50.value,
+        makespan_p95=p95.value,
     )
 
 
 @dataclass(frozen=True)
 class SuiteAggregate:
-    """The finalized suite reduction (what Figure 6 renders)."""
+    """The finalized suite reduction (what Figure 6 renders).
+
+    ``case_rows`` is the percentile column: one ``(case, p50, p95)`` row
+    per folded case with the streamed median/p95 expected makespan of its
+    random-schedule population.
+    """
 
     n_cases: int
     mean: np.ndarray
@@ -127,6 +148,7 @@ class SuiteAggregate:
     rel_mean: float
     rel_std: float
     heuristic_rows: tuple[tuple[str, str, float, float, float, float], ...]
+    case_rows: tuple[tuple[str, float, float], ...] = ()
 
 
 class SuiteAggregator:
@@ -151,6 +173,7 @@ class SuiteAggregator:
         self.matrix = MomentAccumulator((_N_METRICS, _N_METRICS))
         self.rel = MomentAccumulator(())
         self._rows: list[tuple[str, str, float, float, float, float]] = []
+        self._case_rows: list[tuple[str, float, float]] = []
         self._pending: dict[int, CaseContribution] = {}
         self._next = 0
         self._n_cases = 0
@@ -181,6 +204,7 @@ class SuiteAggregator:
         self.matrix.add(c.pearson)
         self.rel.add(c.rel_corr)
         self._rows.extend(c.heuristic_rows)
+        self._case_rows.append((c.name, c.makespan_p50, c.makespan_p95))
         self._n_cases += 1
 
     def merge(self, other: "SuiteAggregator") -> None:
@@ -194,6 +218,7 @@ class SuiteAggregator:
         self.matrix.merge(other.matrix)
         self.rel.merge(other.rel)
         self._rows.extend(other._rows)
+        self._case_rows.extend(other._case_rows)
         self._n_cases += other._n_cases
 
     # ------------------------------------------------------------------ #
@@ -228,4 +253,5 @@ class SuiteAggregator:
             rel_mean=float(self.rel.mean),
             rel_std=float(self.rel.std()),
             heuristic_rows=tuple(self._rows),
+            case_rows=tuple(self._case_rows),
         )

@@ -54,20 +54,10 @@ def _replay_makespan(schedule: Schedule, inflation: float) -> float:
     """
     w = schedule.workload
     dis = schedule.disjunctive()
-    proc = schedule.proc
     factor = 1.0 + inflation
-    finish = np.zeros(w.n_tasks)
-    for v in dis.topo:
-        v = int(v)
-        start = 0.0
-        pv = int(proc[v])
-        for u, volume in dis.preds[v]:
-            comm = 0.0
-            pu = int(proc[u])
-            if volume is not None and pu != pv:
-                comm = w.platform.comm_time(volume, pu, pv) * factor
-            start = max(start, finish[u] + comm)
-        finish[v] = start + w.comp[v, pv] * factor
+    durations = w.comp[np.arange(w.n_tasks), schedule.proc] * factor
+    comm = schedule.edge_min_comm() * factor
+    _, finish = dis.propagate(durations, comm)
     return float(finish.max())
 
 

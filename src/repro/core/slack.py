@@ -60,45 +60,44 @@ class SlackAnalysis:
 
 
 def slack_analysis(schedule: Schedule, model: StochasticModel) -> SlackAnalysis:
-    """Mean-value slack analysis on the schedule's disjunctive graph."""
+    """Mean-value slack analysis on the schedule's disjunctive graph.
+
+    Both level vectors are computed with level-synchronous passes over the
+    schedule's flat CSR arrays: the top levels are exactly the eager
+    propagation of the mean durations with mean communication delays
+    (``tl = start``), the bottom levels a reverse sweep over the
+    source-grouped edge view.  The arithmetic per task matches the
+    historical per-predecessor loops, so the values are bit-identical.
+    """
     w = schedule.workload
     dis = schedule.disjunctive()
-    proc = schedule.proc
     n = w.n_tasks
 
     durations = np.asarray(model.mean(schedule.min_durations()), dtype=float)
+    comm_mean = np.asarray(model.mean(schedule.edge_min_comm()), dtype=float)
 
-    def comm_mean(u: int, v: int, volume: float | None) -> float:
-        if volume is None:
-            return 0.0
-        pu, pv = int(proc[u]), int(proc[v])
-        if pu == pv:
-            return 0.0
-        return float(model.mean(w.platform.comm_time(volume, pu, pv)))
+    # Top levels: tl[v] = max over preds of (tl[u] + durations[u]) + c̄ —
+    # exactly the eager start times under mean durations and delays.
+    tl, _ = dis.propagate(durations, comm_mean)
 
-    topo = dis.topo
-    tl = np.zeros(n)
-    for v in topo:
-        v = int(v)
-        for u, volume in dis.preds[v]:
-            cand = tl[u] + durations[u] + comm_mean(u, v, volume)
-            if cand > tl[v]:
-                tl[v] = cand
-
-    # Bottom levels need successor lists; derive them from the pred structure.
-    succs: list[list[tuple[int, float | None]]] = [[] for _ in range(n)]
-    for v in range(n):
-        for u, volume in dis.preds[v]:
-            succs[u].append((v, volume))
+    # Bottom levels: reverse level sweep over edges grouped by source.
+    out_ptr, out_edges = dis.out_csr
+    topo, lp, dst = dis.topo, dis.level_ptr, dis.edge_dst
     bl = np.zeros(n)
-    for v in topo[::-1]:
-        v = int(v)
-        tail = 0.0
-        for s, volume in succs[v]:
-            cand = comm_mean(v, s, volume) + bl[s]
-            if cand > tail:
-                tail = cand
-        bl[v] = durations[v] + tail
+    for l in range(dis.n_levels - 1, -1, -1):
+        i0, i1 = int(lp[l]), int(lp[l + 1])
+        tasks = topo[i0:i1]
+        o0, o1 = int(out_ptr[i0]), int(out_ptr[i1])
+        if o1 == o0:
+            bl[tasks] = durations[tasks]
+            continue
+        eidx = out_edges[o0:o1]
+        vals = comm_mean[eidx] + bl[dst[eidx]]
+        counts = out_ptr[i0 + 1 : i1 + 1] - out_ptr[i0:i1]
+        tails = np.zeros(i1 - i0)
+        nz = counts > 0
+        np.maximum.at(tails, np.repeat(np.flatnonzero(nz), counts[nz]), vals)
+        bl[tasks] = durations[tasks] + tails
 
     makespan = float((tl + bl).max())
     slacks = makespan - tl - bl

@@ -1,0 +1,174 @@
+"""Shared CSR / level-decomposition primitives.
+
+Both the application :class:`~repro.dag.graph.TaskGraph` and the
+schedule-level :class:`~repro.schedule.disjunctive.DisjunctiveGraph` expose
+their edges as flat CSR arrays plus a *level decomposition* — a partition of
+a topological order into maximal antichains ``level(v) = 1 + max(level(preds))``
+— so every propagation pass (Monte-Carlo replay, mean-value levels, rank
+computations) runs level-synchronously with a handful of numpy operations
+per level instead of a Python loop per task/predecessor.  The helpers here
+are the shared numpy plumbing: vectorized multi-range concatenation, stable
+CSR grouping, and a level-synchronous Kahn traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GraphCSR", "concat_ranges", "group_by", "level_topology"]
+
+
+@dataclass(frozen=True)
+class GraphCSR:
+    """Flat CSR view of an application DAG, plus its level decomposition.
+
+    Built once per :class:`~repro.dag.graph.TaskGraph` (and invalidated on
+    mutation); every rank computation and list-scheduler inner loop reads
+    these arrays instead of walking per-task adjacency tuples.
+
+    Attributes
+    ----------
+    topo, level_ptr:
+        Level-major topological order and its level partition
+        (``level(v) = 1 + max(level(preds))``, 0 for entry tasks).
+    pred_ptr, pred_ids, pred_vol:
+        Incoming edges of task ``v`` (by **task id**):
+        ``pred_ids[pred_ptr[v]:pred_ptr[v+1]]`` in ascending id order,
+        matching ``TaskGraph.predecessors``; ``pred_vol`` the volumes.
+    succ_ptr, succ_ids, succ_vol:
+        Outgoing edges, same layout, ascending successor ids.
+    """
+
+    topo: np.ndarray
+    level_ptr: np.ndarray
+    pred_ptr: np.ndarray
+    pred_ids: np.ndarray
+    pred_vol: np.ndarray
+    succ_ptr: np.ndarray
+    succ_ids: np.ndarray
+    succ_vol: np.ndarray
+
+    @property
+    def n_levels(self) -> int:
+        """Number of levels in the decomposition."""
+        return len(self.level_ptr) - 1
+
+    @classmethod
+    def build(
+        cls, n: int, edges: list[tuple[int, int, float]]
+    ) -> "GraphCSR":
+        """Build from ``(u, v, volume)`` triples (any order)."""
+        if edges:
+            src = np.asarray([u for u, _, _ in edges], dtype=np.intp)
+            dst = np.asarray([v for _, v, _ in edges], dtype=np.intp)
+            vol = np.asarray([c for _, _, c in edges], dtype=float)
+        else:
+            src = np.empty(0, dtype=np.intp)
+            dst = np.empty(0, dtype=np.intp)
+            vol = np.empty(0, dtype=float)
+        topo, level_ptr = level_topology(
+            n, src, dst, "task graph contains a cycle"
+        )
+        # Ascending-id order within each adjacency list: sort by the minor
+        # key first, then group stably by the major key.
+        minor = np.argsort(src, kind="stable")
+        pred_ptr, perm = group_by(dst[minor], n)
+        perm = minor[perm]
+        pred_ids, pred_vol = src[perm], vol[perm]
+        minor = np.argsort(dst, kind="stable")
+        succ_ptr, perm = group_by(src[minor], n)
+        perm = minor[perm]
+        succ_ids, succ_vol = dst[perm], vol[perm]
+        return cls(
+            topo=topo,
+            level_ptr=level_ptr,
+            pred_ptr=pred_ptr,
+            pred_ids=pred_ids,
+            pred_vol=pred_vol,
+            succ_ptr=succ_ptr,
+            succ_ids=succ_ids,
+            succ_vol=succ_vol,
+        )
+
+
+def concat_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Vectorized ``concatenate([arange(s, e) for s, e in zip(starts, ends)])``.
+
+    Empty ranges (``s == e``) contribute nothing.  Used to gather the CSR
+    edge blocks of a whole level in one shot.
+    """
+    starts = np.asarray(starts, dtype=np.intp)
+    ends = np.asarray(ends, dtype=np.intp)
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.intp)
+    # Keep only non-empty ranges: the increment trick below needs each
+    # segment boundary to land on a distinct output position.
+    nz = counts > 0
+    starts, ends, counts = starts[nz], ends[nz], counts[nz]
+    out = np.ones(total, dtype=np.intp)
+    out[0] = starts[0]
+    bounds = np.cumsum(counts)[:-1]
+    out[bounds] = starts[1:] - ends[:-1] + 1
+    return np.cumsum(out)
+
+
+def group_by(keys: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Stable CSR grouping of ``len(keys)`` items by integer key in ``[0, n)``.
+
+    Returns ``(ptr, perm)``: items with key ``k`` are ``perm[ptr[k]:ptr[k+1]]``
+    in their original relative order.
+    """
+    keys = np.asarray(keys, dtype=np.intp)
+    perm = np.argsort(keys, kind="stable")
+    ptr = np.zeros(n + 1, dtype=np.intp)
+    np.cumsum(np.bincount(keys, minlength=n), out=ptr[1:])
+    return ptr, perm
+
+
+def level_topology(
+    n: int, src: np.ndarray, dst: np.ndarray, cycle_message: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Level-major topological order of the DAG ``src[i] → dst[i]``.
+
+    Returns ``(topo, level_ptr)`` where ``topo[level_ptr[l]:level_ptr[l+1]]``
+    are the level-``l`` tasks in ascending id order, and
+    ``level(v) = 1 + max(level(preds))`` (0 for entry tasks).  Every edge
+    therefore crosses strictly forward in level, which is what makes
+    level-synchronous propagation valid.
+
+    Raises
+    ------
+    ValueError
+        With ``cycle_message`` when the edge set contains a cycle.
+    """
+    src = np.asarray(src, dtype=np.intp)
+    dst = np.asarray(dst, dtype=np.intp)
+    remaining = np.bincount(dst, minlength=n)
+    out_ptr, out_perm = group_by(src, n)
+    out_dst = dst[out_perm]
+
+    frontier = np.flatnonzero(remaining == 0)
+    parts: list[np.ndarray] = []
+    sizes: list[int] = []
+    processed = 0
+    while frontier.size:
+        parts.append(frontier)
+        sizes.append(frontier.size)
+        processed += frontier.size
+        edges = concat_ranges(out_ptr[frontier], out_ptr[frontier + 1])
+        if edges.size == 0:
+            break
+        touched = out_dst[edges]
+        remaining -= np.bincount(touched, minlength=n)
+        cand = np.unique(touched)
+        frontier = cand[remaining[cand] == 0]
+    if processed != n:
+        raise ValueError(cycle_message)
+    topo = np.concatenate(parts) if parts else np.empty(0, dtype=np.intp)
+    level_ptr = np.zeros(len(sizes) + 1, dtype=np.intp)
+    np.cumsum(sizes, out=level_ptr[1:])
+    return topo, level_ptr

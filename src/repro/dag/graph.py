@@ -47,6 +47,7 @@ class TaskGraph:
         self._preds: tuple[tuple[int, ...], ...] | None = None
         self._succs: tuple[tuple[int, ...], ...] | None = None
         self._topo: np.ndarray | None = None
+        self._csr = None
         for u, v, volume in edges:
             self.add_edge(u, v, volume)
 
@@ -73,6 +74,7 @@ class TaskGraph:
         self._preds = None
         self._succs = None
         self._topo = None
+        self._csr = None
 
     # ------------------------------------------------------------------ #
     # structure queries
@@ -155,6 +157,21 @@ class TaskGraph:
                 raise ValueError("task graph contains a cycle")
             self._topo = np.asarray(order, dtype=np.intp)
         return self._topo
+
+    def csr(self):
+        """Flat CSR adjacency + level decomposition (cached).
+
+        Returns the :class:`~repro.dag._csr.GraphCSR` the rank computations
+        and the vectorized scheduler core consume; invalidated on mutation
+        like the other structure caches.
+        """
+        if self._csr is None:
+            from repro.dag._csr import GraphCSR
+
+            self._csr = GraphCSR.build(
+                self._n, [(u, v, vol) for (u, v), vol in self._volumes.items()]
+            )
+        return self._csr
 
     def validate(self) -> None:
         """Check acyclicity and volume sanity (raises ValueError on failure)."""

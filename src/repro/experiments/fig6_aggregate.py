@@ -54,6 +54,7 @@ class Fig6Result:
     n_cases: int
     heuristic_rows: tuple[tuple[str, str, float, float, float, float], ...]
     case_results: tuple[CaseResult, ...] | None = None
+    case_rows: tuple[tuple[str, float, float], ...] = ()
 
     def render(self) -> str:
         """Figure 6 as a combined mean/σ matrix plus the §VII statistic."""
@@ -69,7 +70,28 @@ class Fig6Result:
             f"{self.rel_over_m_vs_std_mean:+.3f} ± {self.rel_over_m_vs_std_std:.3f} "
             "(paper: 0.998 ± 0.009)",
         ]
+        if self.case_rows:
+            lines += [
+                "",
+                "Per-case percentile column (P²-streamed over the random "
+                "population):",
+                self.percentile_summary(),
+            ]
         return "\n".join(lines)
+
+    def percentile_summary(self) -> str:
+        """Per-case percentile column: streamed p50/p95 random makespan.
+
+        The ROADMAP follow-up column — the median and 95th percentile of
+        each case's random-schedule expected makespans, estimated by the
+        O(1)-memory :class:`~repro.analysis.streaming.P2Quantile` during
+        aggregation, so it is available in streaming and cache-aggregation
+        modes alike (no panels required).
+        """
+        rows = [
+            (name, f"{p50:.1f}", f"{p95:.1f}") for name, p50, p95 in self.case_rows
+        ]
+        return format_table(["case", "p50(M)", "p95(M)"], rows)
 
     def heuristic_summary(self) -> str:
         """How often each heuristic beats the random population (per case).
@@ -99,6 +121,7 @@ def _result_from_aggregate(
         n_cases=agg.n_cases,
         heuristic_rows=agg.heuristic_rows,
         case_results=case_results,
+        case_rows=agg.case_rows,
     )
 
 

@@ -1,0 +1,257 @@
+"""Vectorized scheduler core shared by the list heuristics.
+
+The historical heuristics walked Python adjacency tuples — one predecessor
+and one processor at a time — and kept per-processor busy intervals in
+Python slot lists.  This module replaces those inner loops:
+
+* **rank computations** (:func:`upward_ranks`, :func:`downward_ranks`,
+  :func:`static_levels`, :func:`bil_levels`) run level-synchronously over
+  the graph's flat CSR arrays (:meth:`~repro.dag.graph.TaskGraph.csr`);
+* **data-ready times** (:func:`ready_times`) evaluate one task's earliest
+  start on *all* ``m`` processors with one ``(k, m)`` block;
+* **timelines** (:class:`Timelines`) keep all ``m`` processors' busy slots
+  in padded, sorted arrays and answer the insertion-policy earliest-start
+  query for every processor at once.
+
+Everything is bit-identical to the historical loops: maxima/minima over
+floats are exact in any evaluation order, and every sum/product keeps the
+historical association (verified against the frozen implementations in
+:mod:`repro.schedule._reference` by the equivalence suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag._csr import concat_ranges
+from repro.platform.workload import Workload
+
+__all__ = [
+    "upward_ranks",
+    "downward_ranks",
+    "static_levels",
+    "bil_levels",
+    "ready_times",
+    "Timelines",
+]
+
+
+# ---------------------------------------------------------------------- #
+# rank computations (level-synchronous CSR passes)
+# ---------------------------------------------------------------------- #
+
+
+def _succ_level_edges(csr, tasks):
+    """Outgoing edge indices of ``tasks`` plus their owner positions."""
+    starts, ends = csr.succ_ptr[tasks], csr.succ_ptr[tasks + 1]
+    edges = concat_ranges(starts, ends)
+    owners = np.repeat(np.arange(len(tasks), dtype=np.intp), ends - starts)
+    return edges, owners
+
+
+def _pred_level_edges(csr, tasks):
+    """Incoming edge indices of ``tasks`` plus their owner positions."""
+    starts, ends = csr.pred_ptr[tasks], csr.pred_ptr[tasks + 1]
+    edges = concat_ranges(starts, ends)
+    owners = np.repeat(np.arange(len(tasks), dtype=np.intp), ends - starts)
+    return edges, owners
+
+
+def upward_ranks(
+    workload: Workload, durations: np.ndarray | None = None
+) -> np.ndarray:
+    """Upward rank of every task (machine-averaged costs by default).
+
+    ``rank_u(i) = w̄_i + max_{j ∈ succ(i)} (c̄_ij + rank_u(j))``, evaluated
+    as a reverse level sweep.  ``durations`` overrides the per-task cost
+    vector (σ-HEFT hook).
+    """
+    csr = workload.graph.csr()
+    w = workload.mean_durations() if durations is None else np.asarray(durations)
+    cbar = workload.platform.mean_latency() + csr.succ_vol * workload.platform.mean_tau()
+    ranks = np.zeros(workload.n_tasks)
+    topo, lp = csr.topo, csr.level_ptr
+    for l in range(csr.n_levels - 1, -1, -1):
+        tasks = topo[lp[l] : lp[l + 1]]
+        edges, owners = _succ_level_edges(csr, tasks)
+        tails = np.zeros(len(tasks))
+        if len(edges):
+            np.maximum.at(tails, owners, cbar[edges] + ranks[csr.succ_ids[edges]])
+        ranks[tasks] = w[tasks] + tails
+    return ranks
+
+
+def downward_ranks(workload: Workload) -> np.ndarray:
+    """Downward rank: longest mean-cost path from an entry, excluding self."""
+    csr = workload.graph.csr()
+    w = workload.mean_durations()
+    cbar = workload.platform.mean_latency() + csr.pred_vol * workload.platform.mean_tau()
+    ranks = np.zeros(workload.n_tasks)
+    topo, lp = csr.topo, csr.level_ptr
+    for l in range(1, csr.n_levels):
+        tasks = topo[lp[l] : lp[l + 1]]
+        edges, owners = _pred_level_edges(csr, tasks)
+        tails = np.zeros(len(tasks))
+        if len(edges):
+            preds = csr.pred_ids[edges]
+            np.maximum.at(tails, owners, (ranks[preds] + w[preds]) + cbar[edges])
+        ranks[tasks] = tails
+    return ranks
+
+
+def static_levels(workload: Workload) -> np.ndarray:
+    """Static level SL(t): mean-cost longest path to an exit, no comm."""
+    csr = workload.graph.csr()
+    w = workload.mean_durations()
+    sl = np.zeros(workload.n_tasks)
+    topo, lp = csr.topo, csr.level_ptr
+    for l in range(csr.n_levels - 1, -1, -1):
+        tasks = topo[lp[l] : lp[l + 1]]
+        edges, owners = _succ_level_edges(csr, tasks)
+        tails = np.zeros(len(tasks))
+        if len(edges):
+            np.maximum.at(tails, owners, sl[csr.succ_ids[edges]])
+        sl[tasks] = w[tasks] + tails
+    return sl
+
+
+def bil_levels(workload: Workload) -> np.ndarray:
+    """``(n, m)`` matrix of Best Imaginary Levels (Oh & Ha).
+
+    One reverse level sweep; per level the per-successor
+    ``min_{j'} (BIL(k, j') + c·[j ≠ j'])`` is evaluated as an
+    ``(edges, m, m)`` block followed by an unbuffered segment maximum.
+    """
+    csr = workload.graph.csr()
+    n, m = workload.n_tasks, workload.m
+    lat, tau = workload.platform.latency, workload.platform.tau
+    levels = np.zeros((n, m))
+    topo, lp = csr.topo, csr.level_ptr
+    for l in range(csr.n_levels - 1, -1, -1):
+        tasks = topo[lp[l] : lp[l + 1]]
+        edges, owners = _succ_level_edges(csr, tasks)
+        tails = np.zeros((len(tasks), m))
+        if len(edges):
+            # comm[e, j, jp] = L[j, jp] + vol_e · τ[j, jp]  (0 on diagonal)
+            comm = lat[None, :, :] + csr.succ_vol[edges, None, None] * tau[None, :, :]
+            cand = levels[csr.succ_ids[edges], None, :] + comm
+            np.maximum.at(tails, owners, cand.min(axis=2))
+        levels[tasks] = workload.comp[tasks] + tails
+    return levels
+
+
+# ---------------------------------------------------------------------- #
+# per-task EFT evaluation primitives
+# ---------------------------------------------------------------------- #
+
+
+def ready_times(
+    finish: np.ndarray,
+    proc: np.ndarray,
+    preds: np.ndarray,
+    vols: np.ndarray,
+    lat: np.ndarray,
+    tau: np.ndarray,
+) -> np.ndarray:
+    """Earliest data-ready time of one task on every processor.
+
+    ``preds``/``vols`` are the task's predecessor ids and edge volumes;
+    returns the ``(m,)`` vector ``max_u (finish[u] + L[p_u, ·] + vol·τ[p_u, ·])``
+    (0.0 with no predecessors).  The diagonal of ``L``/``τ`` is zero, so
+    same-processor arrivals cost exactly ``finish[u] + 0.0`` like the
+    historical branch.
+    """
+    if len(preds) == 0:
+        return np.zeros(lat.shape[0])
+    pu = proc[preds]
+    comm = lat[pu] + vols[:, None] * tau[pu]
+    return np.max(finish[preds][:, None] + comm, axis=0)
+
+
+class Timelines:
+    """All ``m`` processors' busy slots, in padded sorted arrays.
+
+    Supports the two queries of the list heuristics — append-style
+    earliest start (``max(ready, available)``) and insertion-policy
+    earliest start (first sufficiently large idle gap) — for **every
+    processor at once**, plus single-slot insertion.  The slot bookkeeping
+    matches the legacy :class:`~repro.schedule._timeline.Timeline`
+    semantics: same gap predicate, same tolerances, start-keyed insertion
+    position (equal starts can only arise for zero-duration tasks; see the
+    legacy class for the invariant).
+    """
+
+    def __init__(self, m: int, capacity: int = 8):
+        self.m = m
+        self._cap = capacity
+        # Column layout per processor row: slots 0..count-1, then +inf
+        # padding.  ``_prev[p, i]`` is the finish of slot i−1 (0.0 for
+        # i = 0), maintained so the insertion query is pure arithmetic.
+        self._starts = np.full((m, capacity + 1), np.inf)
+        self._finishes = np.full((m, capacity + 1), np.inf)
+        self._prev = np.zeros((m, capacity + 1))
+        self._counts = np.zeros(m, dtype=np.intp)
+        self._avail = np.zeros(m)
+        self._rows = np.arange(m)
+        self._tasks: list[list[int]] = [[] for _ in range(m)]
+
+    @property
+    def available(self) -> np.ndarray:
+        """Finish time of each processor's last slot (0.0 when empty)."""
+        return self._avail
+
+    def earliest_start(
+        self, ready: np.ndarray, duration: np.ndarray, insertion: bool
+    ) -> np.ndarray:
+        """Earliest start ≥ ``ready[p]`` of a ``duration[p]`` task, per p.
+
+        With ``insertion`` the first sufficiently large idle gap of each
+        processor is used (legacy predicate ``candidate + duration ≤
+        slot_start + 1e-12``), otherwise the task appends after the last
+        slot.
+        """
+        if not insertion:
+            return np.maximum(ready, self._avail)
+        cand = np.maximum(ready[:, None], self._prev)
+        fits = cand + duration[:, None] <= self._starts + 1e-12
+        # Padding columns have start = +inf, so each row fits at its
+        # append sentinel (column ``count``) at the latest.
+        first = np.argmax(fits, axis=1)
+        return cand[self._rows, first]
+
+    def insert(self, p: int, task: int, start: float, duration: float) -> None:
+        """Place ``task`` on processor ``p`` (must not overlap)."""
+        count = int(self._counts[p])
+        if count + 1 >= self._starts.shape[1]:
+            self._grow()
+        finish = start + duration
+        row_s = self._starts[p]
+        row_f = self._finishes[p]
+        idx = int(np.searchsorted(row_s[:count], start, side="right"))
+        if idx > 0 and row_f[idx - 1] > start + 1e-12:
+            raise ValueError(f"slot overlap placing task {task} at {start}")
+        if idx < count and row_s[idx] < finish - 1e-12:
+            raise ValueError(f"slot overlap placing task {task} at {start}")
+        row_s[idx + 1 : count + 1] = row_s[idx:count].copy()
+        row_f[idx + 1 : count + 1] = row_f[idx:count].copy()
+        row_s[idx] = start
+        row_f[idx] = finish
+        self._tasks[p].insert(idx, task)
+        self._counts[p] = count + 1
+        self._prev[p, 1 : count + 2] = row_f[: count + 1]
+        self._avail[p] = row_f[count]
+
+    def _grow(self) -> None:
+        old_cap = self._starts.shape[1]
+        cap = old_cap * 2
+        for name in ("_starts", "_finishes"):
+            new = np.full((self.m, cap), np.inf)
+            new[:, :old_cap] = getattr(self, name)
+            setattr(self, name, new)
+        new_prev = np.zeros((self.m, cap))
+        new_prev[:, :old_cap] = self._prev
+        self._prev = new_prev
+
+    def orders(self) -> list[list[int]]:
+        """Per-processor task lists in execution (start-time) order."""
+        return [list(tasks) for tasks in self._tasks]

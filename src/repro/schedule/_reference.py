@@ -1,0 +1,407 @@
+"""Frozen pre-kernel list-scheduler implementations (bit-identity oracles).
+
+Verbatim copies of the heuristics as they were before the vectorized
+scheduler core (:mod:`repro.schedule._kernel`) landed: per-task Python loops
+over predecessors, per-processor loops for EFT evaluation, and the legacy
+:class:`~repro.schedule._timeline.Timeline` slot lists.  Kept for
+
+* **equivalence tests** — every port must produce the *same* schedule
+  (identical assignment, orders, start/finish times) on every workload;
+* **benchmark baselines** — ``benchmarks/bench_kernel.py`` reports the
+  kernel speedups against these loops in ``BENCH_core.json``.
+
+Nothing in the library calls this module on any hot path.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.platform.workload import Workload
+from repro.schedule._timeline import Timeline
+from repro.schedule.schedule import Schedule
+
+__all__ = [
+    "upward_ranks_reference",
+    "downward_ranks_reference",
+    "static_levels_reference",
+    "bil_levels_reference",
+    "heft_reference",
+    "cpop_reference",
+    "bmct_reference",
+    "dls_reference",
+    "bil_reference",
+]
+
+_MAX_BALANCE_ITERATIONS = 10_000
+
+
+def upward_ranks_reference(
+    workload: Workload, durations: np.ndarray | None = None
+) -> np.ndarray:
+    """Historical per-task upward-rank loop."""
+    graph = workload.graph
+    w = workload.mean_durations() if durations is None else np.asarray(durations)
+    ranks = np.zeros(graph.n_tasks)
+    for v in graph.topological_order()[::-1]:
+        v = int(v)
+        tail = 0.0
+        for s in graph.successors(v):
+            c = workload.mean_comm_time(v, s)
+            tail = max(tail, c + ranks[s])
+        ranks[v] = w[v] + tail
+    return ranks
+
+
+def downward_ranks_reference(workload: Workload) -> np.ndarray:
+    """Historical per-task downward-rank loop."""
+    graph = workload.graph
+    w = workload.mean_durations()
+    ranks = np.zeros(graph.n_tasks)
+    for v in graph.topological_order():
+        v = int(v)
+        for u in graph.predecessors(v):
+            c = workload.mean_comm_time(u, v)
+            ranks[v] = max(ranks[v], ranks[u] + w[u] + c)
+    return ranks
+
+
+def static_levels_reference(workload: Workload) -> np.ndarray:
+    """Historical per-task static-level loop."""
+    graph = workload.graph
+    w = workload.mean_durations()
+    sl = np.zeros(graph.n_tasks)
+    for v in graph.topological_order()[::-1]:
+        v = int(v)
+        tail = max((sl[s] for s in graph.successors(v)), default=0.0)
+        sl[v] = w[v] + tail
+    return sl
+
+
+def bil_levels_reference(workload: Workload) -> np.ndarray:
+    """Historical per-(task, proc, proc) BIL level loops."""
+    graph = workload.graph
+    n, m = workload.n_tasks, workload.m
+    levels = np.zeros((n, m))
+    for v in graph.topological_order()[::-1]:
+        v = int(v)
+        succs = graph.successors(v)
+        for j in range(m):
+            tail = 0.0
+            for k in succs:
+                best = np.inf
+                for jp in range(m):
+                    comm = 0.0
+                    if jp != j:
+                        comm = workload.platform.comm_time(
+                            graph.volume(v, k), j, jp
+                        )
+                    cand = levels[k, jp] + comm
+                    if cand < best:
+                        best = cand
+                tail = max(tail, best)
+            levels[v, j] = workload.comp[v, j] + tail
+    return levels
+
+
+def heft_reference(
+    workload: Workload,
+    insertion: bool = True,
+    label: str = "HEFT",
+    durations: np.ndarray | None = None,
+    comp: np.ndarray | None = None,
+) -> Schedule:
+    """Historical HEFT: per-processor EFT loops over legacy timelines."""
+    graph = workload.graph
+    n, m = workload.n_tasks, workload.m
+    costs = workload.comp if comp is None else np.asarray(comp)
+    ranks = upward_ranks_reference(workload, durations)
+    order = sorted(range(n), key=lambda t: (-ranks[t], t))
+
+    proc = np.full(n, -1, dtype=np.intp)
+    finish = np.zeros(n)
+    timelines = [Timeline() for _ in range(m)]
+
+    for task in order:
+        best_p, best_start, best_finish = -1, 0.0, np.inf
+        for p in range(m):
+            ready = 0.0
+            for u in graph.predecessors(task):
+                comm = 0.0
+                if int(proc[u]) != p:
+                    comm = workload.platform.comm_time(
+                        graph.volume(u, task), int(proc[u]), p
+                    )
+                arrival = finish[u] + comm
+                if arrival > ready:
+                    ready = arrival
+            duration = float(costs[task, p])
+            start = timelines[p].earliest_start(ready, duration, insertion)
+            eft = start + duration
+            if eft < best_finish - 1e-12:
+                best_p, best_start, best_finish = p, start, eft
+        duration = float(costs[task, best_p])
+        timelines[best_p].insert(task, best_start, duration)
+        proc[task] = best_p
+        finish[task] = best_finish
+
+    orders = [tl.order() for tl in timelines]
+    return Schedule.from_proc_orders(workload, proc, orders, label=label)
+
+
+def cpop_reference(workload: Workload, label: str = "CPOP") -> Schedule:
+    """Historical CPOP with per-processor loops."""
+    graph = workload.graph
+    n, m = workload.n_tasks, workload.m
+    ru = upward_ranks_reference(workload)
+    rd = downward_ranks_reference(workload)
+    priority = ru + rd
+    cp_value = float(priority.max())
+
+    tol = 1e-9 * max(cp_value, 1.0)
+    entry = max(
+        (v for v in graph.entry_tasks()),
+        key=lambda v: priority[v],
+    )
+    cp_tasks = [int(entry)]
+    v = int(entry)
+    while graph.successors(v):
+        candidates = [s for s in graph.successors(v) if priority[s] >= cp_value - tol]
+        if not candidates:
+            break
+        v = int(max(candidates, key=lambda s: priority[s]))
+        cp_tasks.append(v)
+    cp_set = set(cp_tasks)
+    cp_proc = int(np.argmin(workload.comp[cp_tasks].sum(axis=0)))
+
+    remaining_preds = np.array(
+        [len(graph.predecessors(v)) for v in range(n)], dtype=int
+    )
+    heap = [(-priority[v], v) for v in range(n) if remaining_preds[v] == 0]
+    heapq.heapify(heap)
+    proc = np.full(n, -1, dtype=np.intp)
+    finish = np.zeros(n)
+    timelines = [Timeline() for _ in range(m)]
+
+    def est_on(task: int, p: int) -> float:
+        ready = 0.0
+        for u in graph.predecessors(task):
+            comm = 0.0
+            if int(proc[u]) != p:
+                comm = workload.platform.comm_time(graph.volume(u, task), int(proc[u]), p)
+            ready = max(ready, finish[u] + comm)
+        return ready
+
+    while heap:
+        _, task = heapq.heappop(heap)
+        if task in cp_set:
+            p = cp_proc
+            duration = float(workload.comp[task, p])
+            start = timelines[p].earliest_start(est_on(task, p), duration, True)
+        else:
+            p, start, best_eft = -1, 0.0, np.inf
+            for q in range(m):
+                duration_q = float(workload.comp[task, q])
+                s = timelines[q].earliest_start(est_on(task, q), duration_q, True)
+                if s + duration_q < best_eft - 1e-12:
+                    p, start, best_eft = q, s, s + duration_q
+            duration = float(workload.comp[task, p])
+        timelines[p].insert(task, start, duration)
+        proc[task] = p
+        finish[task] = start + duration
+        for s_ in graph.successors(task):
+            remaining_preds[s_] -= 1
+            if remaining_preds[s_] == 0:
+                heapq.heappush(heap, (-priority[s_], s_))
+
+    orders = [tl.order() for tl in timelines]
+    return Schedule.from_proc_orders(workload, proc, orders, label=label)
+
+
+def bmct_reference(workload: Workload, label: str = "Hyb.BMCT") -> Schedule:
+    """Historical Hyb.BMCT with per-predecessor EST loops."""
+    graph = workload.graph
+    n, m = workload.n_tasks, workload.m
+    ranks = upward_ranks_reference(workload)
+    order = sorted(range(n), key=lambda t: (-ranks[t], t))
+
+    groups: list[list[int]] = []
+    current: list[int] = []
+    current_set: set[int] = set()
+    for t in order:
+        if any(u in current_set for u in graph.predecessors(t)):
+            groups.append(current)
+            current, current_set = [], set()
+        current.append(t)
+        current_set.add(t)
+    if current:
+        groups.append(current)
+
+    proc = np.full(n, -1, dtype=np.intp)
+    finish = np.zeros(n)
+    avail = np.zeros(m)
+    proc_orders: list[list[int]] = [[] for _ in range(m)]
+
+    for group in groups:
+        est = np.zeros((len(group), m))
+        for gi, t in enumerate(group):
+            for u in graph.predecessors(t):
+                pu = int(proc[u])
+                for j in range(m):
+                    comm = 0.0
+                    if pu != j:
+                        comm = workload.platform.comm_time(graph.volume(u, t), pu, j)
+                    est[gi, j] = max(est[gi, j], finish[u] + comm)
+
+        assign = np.array([int(np.argmin(workload.comp[t])) for t in group])
+
+        def evaluate(assign_vec: np.ndarray):
+            task_finish = np.zeros(len(group))
+            orders: list[list[int]] = [[] for _ in range(m)]
+            machine_finish = avail.copy()
+            for p in range(m):
+                members = [gi for gi in range(len(group)) if assign_vec[gi] == p]
+                members.sort(key=lambda gi: (est[gi, p], -ranks[group[gi]]))
+                t_free = machine_finish[p]
+                for gi in members:
+                    start = max(t_free, est[gi, p])
+                    t_free = start + workload.comp[group[gi], p]
+                    task_finish[gi] = t_free
+                    orders[p].append(gi)
+                machine_finish[p] = t_free
+            return float(machine_finish.max()), task_finish, orders, machine_finish
+
+        best_makespan, task_finish, orders, machine_finish = evaluate(assign)
+        for _ in range(_MAX_BALANCE_ITERATIONS):
+            worst = int(np.argmax(machine_finish))
+            movers = [gi for gi in range(len(group)) if assign[gi] == worst]
+            improved = False
+            best_move: tuple[float, int, int] | None = None
+            for gi in movers:
+                for p in range(m):
+                    if p == worst:
+                        continue
+                    trial = assign.copy()
+                    trial[gi] = p
+                    ms, *_ = evaluate(trial)
+                    if ms < best_makespan - 1e-12 and (
+                        best_move is None or ms < best_move[0]
+                    ):
+                        best_move = (ms, gi, p)
+            if best_move is not None:
+                _, gi, p = best_move
+                assign[gi] = p
+                best_makespan, task_finish, orders, machine_finish = evaluate(assign)
+                improved = True
+            if not improved:
+                break
+
+        for p in range(m):
+            for gi in orders[p]:
+                t = group[gi]
+                proc[t] = p
+                finish[t] = task_finish[gi]
+                proc_orders[p].append(t)
+        avail = machine_finish
+
+    return Schedule.from_proc_orders(workload, proc, proc_orders, label=label)
+
+
+def dls_reference(workload: Workload, label: str = "DLS") -> Schedule:
+    """Historical DLS with per-(task, proc, pred) loops."""
+    graph = workload.graph
+    n, m = workload.n_tasks, workload.m
+    sl = static_levels_reference(workload)
+    mean_costs = workload.mean_durations()
+
+    remaining_preds = np.array(
+        [len(graph.predecessors(v)) for v in range(n)], dtype=int
+    )
+    ready = {v for v in range(n) if remaining_preds[v] == 0}
+    proc = np.full(n, -1, dtype=np.intp)
+    finish = np.zeros(n)
+    avail = np.zeros(m)
+    sequence: list[tuple[int, int]] = []
+
+    while ready:
+        best = None
+        for t in sorted(ready):
+            delta = mean_costs[t] - workload.comp[t]
+            for p in range(m):
+                data_ready = 0.0
+                for u in graph.predecessors(t):
+                    comm = 0.0
+                    if int(proc[u]) != p:
+                        comm = workload.platform.comm_time(
+                            graph.volume(u, t), int(proc[u]), p
+                        )
+                    data_ready = max(data_ready, finish[u] + comm)
+                est = max(data_ready, avail[p])
+                dl = sl[t] - est + delta[p]
+                key = (dl, -est, -t, -p)
+                if best is None or key > best[0]:
+                    best = (key, t, p, est)
+        (_, t, p, est) = best  # type: ignore[misc]
+        proc[t] = p
+        finish[t] = est + workload.comp[t, p]
+        avail[p] = finish[t]
+        sequence.append((t, p))
+        ready.remove(t)
+        for s in graph.successors(t):
+            remaining_preds[s] -= 1
+            if remaining_preds[s] == 0:
+                ready.add(s)
+
+    return Schedule.from_assignment_sequence(workload, sequence, label=label)
+
+
+def bil_reference(workload: Workload, label: str = "BIL") -> Schedule:
+    """Historical BIL with per-(task, pred, proc) loops."""
+    graph = workload.graph
+    n, m = workload.n_tasks, workload.m
+    levels = bil_levels_reference(workload)
+
+    remaining_preds = np.array(
+        [len(graph.predecessors(v)) for v in range(n)], dtype=int
+    )
+    ready = [v for v in range(n) if remaining_preds[v] == 0]
+    proc = np.full(n, -1, dtype=np.intp)
+    finish = np.zeros(n)
+    avail = np.zeros(m)
+    sequence: list[tuple[int, int]] = []
+
+    while ready:
+        k = min(len(ready), m)
+        best_task, best_key = -1, None
+        bims: dict[int, np.ndarray] = {}
+        for t in ready:
+            est = np.zeros(m)
+            for u in graph.predecessors(t):
+                pu = int(proc[u])
+                for j in range(m):
+                    comm = 0.0
+                    if pu != j:
+                        comm = workload.platform.comm_time(graph.volume(u, t), pu, j)
+                    est[j] = max(est[j], finish[u] + comm)
+            bim = np.maximum(est, avail) + levels[t]
+            bims[t] = bim
+            s = np.sort(bim)
+            key = (s[k - 1], float(levels[t].max() - levels[t].min()), -t)
+            if best_key is None or key > best_key:
+                best_task, best_key = t, key
+        bim = bims[best_task]
+        p = int(np.argmin(bim))
+        proc[best_task] = p
+        start = max(avail[p], float(bim[p] - levels[best_task, p]))
+        finish[best_task] = start + workload.comp[best_task, p]
+        avail[p] = finish[best_task]
+        sequence.append((best_task, p))
+        ready.remove(best_task)
+        for s_ in graph.successors(best_task):
+            remaining_preds[s_] -= 1
+            if remaining_preds[s_] == 0:
+                ready.append(s_)
+
+    return Schedule.from_assignment_sequence(workload, sequence, label=label)

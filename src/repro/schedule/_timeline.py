@@ -1,4 +1,11 @@
-"""Per-processor timeline bookkeeping shared by the list heuristics."""
+"""Per-processor timeline bookkeeping (legacy slot-list implementation).
+
+The list heuristics now run on the array-backed
+:class:`~repro.schedule._kernel.Timelines`; this class is kept as the
+simple, obviously-correct reference that the kernel is cross-checked
+against (``tests/schedule/test_kernel_bitidentity.py``) and for the frozen
+heuristics in :mod:`repro.schedule._reference`.
+"""
 
 from __future__ import annotations
 
@@ -13,12 +20,24 @@ class Timeline:
     Supports both *append* scheduling (eager, no insertion) and HEFT-style
     *insertion* scheduling (a task may fill an idle gap between two already
     placed tasks).
+
+    Invariant: distinct slots never share a start time unless all but one
+    of them have zero duration — any other equal-start pair would overlap
+    and is rejected by :meth:`insert`.  Searches are therefore keyed on
+    the start time alone (a full ``(start, finish, task)`` tuple bisect
+    would order equal-start slots by finish/task, silently depending on
+    payload values that have no scheduling meaning).  A new slot goes
+    *after* existing equal-start (necessarily zero-duration) slots —
+    insertion order, which keeps a positive-duration task insertable at
+    the same instant; the mutual order of zero-duration slots is
+    irrelevant to replay because they occupy a single point in time.
     """
 
-    __slots__ = ("_slots",)
+    __slots__ = ("_slots", "_starts")
 
     def __init__(self) -> None:
         self._slots: list[tuple[float, float, int]] = []  # (start, finish, task)
+        self._starts: list[float] = []  # parallel start keys for bisect
 
     @property
     def available(self) -> float:
@@ -45,12 +64,13 @@ class Timeline:
     def insert(self, task: int, start: float, duration: float) -> None:
         """Place ``task`` at ``start`` (must not overlap existing slots)."""
         finish = start + duration
-        idx = bisect.bisect_left(self._slots, (start, finish, task))
+        idx = bisect.bisect_right(self._starts, start)
         if idx > 0 and self._slots[idx - 1][1] > start + 1e-12:
             raise ValueError(f"slot overlap placing task {task} at {start}")
         if idx < len(self._slots) and self._slots[idx][0] < finish - 1e-12:
             raise ValueError(f"slot overlap placing task {task} at {start}")
         self._slots.insert(idx, (start, finish, task))
+        self._starts.insert(idx, start)
 
     def order(self) -> list[int]:
         """Tasks in execution (start-time) order."""

@@ -22,36 +22,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.platform.workload import Workload
+from repro.schedule import _kernel
 from repro.schedule.schedule import Schedule
 
 __all__ = ["bil", "bil_levels"]
 
 
 def bil_levels(workload: Workload) -> np.ndarray:
-    """``(n, m)`` matrix of Best Imaginary Levels."""
-    graph = workload.graph
-    n, m = workload.n_tasks, workload.m
-    levels = np.zeros((n, m))
-    for v in graph.topological_order()[::-1]:
-        v = int(v)
-        succs = graph.successors(v)
-        for j in range(m):
-            tail = 0.0
-            for k in succs:
-                # min over target processors of BIL(k, j') + comm if j' ≠ j
-                best = np.inf
-                for jp in range(m):
-                    comm = 0.0
-                    if jp != j:
-                        comm = workload.platform.comm_time(
-                            graph.volume(v, k), j, jp
-                        )
-                    cand = levels[k, jp] + comm
-                    if cand < best:
-                        best = cand
-                tail = max(tail, best)
-            levels[v, j] = workload.comp[v, j] + tail
-    return levels
+    """``(n, m)`` matrix of Best Imaginary Levels.
+
+    Computed as a reverse level-synchronous CSR pass (kernel), bit-identical
+    to the historical per-(task, processor, processor) loops.
+    """
+    return _kernel.bil_levels(workload)
 
 
 def bil(workload: Workload, label: str = "BIL") -> Schedule:
@@ -60,29 +43,34 @@ def bil(workload: Workload, label: str = "BIL") -> Schedule:
     n, m = workload.n_tasks, workload.m
     levels = bil_levels(workload)
 
-    remaining_preds = np.array(
-        [len(graph.predecessors(v)) for v in range(n)], dtype=int
-    )
-    ready = [v for v in range(n) if remaining_preds[v] == 0]
+    csr = graph.csr()
+    lat, tau = workload.platform.latency, workload.platform.tau
+    remaining_preds = np.diff(csr.pred_ptr).astype(int)
     proc = np.full(n, -1, dtype=np.intp)
     finish = np.zeros(n)
     avail = np.zeros(m)
     sequence: list[tuple[int, int]] = []
+
+    # A task's data-ready vector is fixed the moment it becomes ready
+    # (all predecessors placed): computed once per task, not per step.
+    ests: dict[int, np.ndarray] = {}
+
+    def enter(t: int) -> None:
+        lo, hi = csr.pred_ptr[t], csr.pred_ptr[t + 1]
+        ests[t] = _kernel.ready_times(
+            finish, proc, csr.pred_ids[lo:hi], csr.pred_vol[lo:hi], lat, tau
+        )
+
+    ready = [v for v in range(n) if remaining_preds[v] == 0]
+    for v in ready:
+        enter(v)
 
     while ready:
         k = min(len(ready), m)
         best_task, best_key = -1, None
         bims: dict[int, np.ndarray] = {}
         for t in ready:
-            est = np.zeros(m)
-            for u in graph.predecessors(t):
-                pu = int(proc[u])
-                for j in range(m):
-                    comm = 0.0
-                    if pu != j:
-                        comm = workload.platform.comm_time(graph.volume(u, t), pu, j)
-                    est[j] = max(est[j], finish[u] + comm)
-            bim = np.maximum(est, avail) + levels[t]
+            bim = np.maximum(ests[t], avail) + levels[t]
             bims[t] = bim
             s = np.sort(bim)
             # Priority: the k-th smallest BIM, i.e. the makespan this task
@@ -99,9 +87,11 @@ def bil(workload: Workload, label: str = "BIL") -> Schedule:
         avail[p] = finish[best_task]
         sequence.append((best_task, p))
         ready.remove(best_task)
+        del ests[best_task]
         for s_ in graph.successors(best_task):
             remaining_preds[s_] -= 1
             if remaining_preds[s_] == 0:
                 ready.append(s_)
+                enter(s_)
 
     return Schedule.from_assignment_sequence(workload, sequence, label=label)

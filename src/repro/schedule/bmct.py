@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.platform.workload import Workload
+from repro.schedule import _kernel
 from repro.schedule.heft import upward_ranks
 from repro.schedule.schedule import Schedule
 
@@ -56,16 +57,17 @@ def bmct(workload: Workload, label: str = "Hyb.BMCT") -> Schedule:
     avail = np.zeros(m)
     proc_orders: list[list[int]] = [[] for _ in range(m)]
 
+    csr = graph.csr()
+    lat, tau = workload.platform.latency, workload.platform.tau
     for group in groups:
+        # Data-ready times of the whole group on every machine, one
+        # vectorized (preds, m) block per task (kernel EFT primitive).
         est = np.zeros((len(group), m))
         for gi, t in enumerate(group):
-            for u in graph.predecessors(t):
-                pu = int(proc[u])
-                for j in range(m):
-                    comm = 0.0
-                    if pu != j:
-                        comm = workload.platform.comm_time(graph.volume(u, t), pu, j)
-                    est[gi, j] = max(est[gi, j], finish[u] + comm)
+            lo, hi = csr.pred_ptr[t], csr.pred_ptr[t + 1]
+            est[gi] = _kernel.ready_times(
+                finish, proc, csr.pred_ids[lo:hi], csr.pred_vol[lo:hi], lat, tau
+            )
 
         # Initial BMCT assignment: fastest machine per task.
         assign = np.array([int(np.argmin(workload.comp[t])) for t in group])

@@ -6,14 +6,19 @@ evaluate it; we include it for completeness).  CPOP prioritizes tasks by
 critical-path task onto the single processor minimizing the total
 critical-path computation time, and schedules the rest by earliest finish
 time with insertion.
+
+Ranks and per-task EFT queries run on the vectorized scheduler core
+(:mod:`repro.schedule._kernel`), bit-identical to the historical loops.
 """
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
 from repro.platform.workload import Workload
-from repro.schedule._timeline import Timeline
+from repro.schedule import _kernel
 from repro.schedule.heft import upward_ranks
 from repro.schedule.schedule import Schedule
 
@@ -22,15 +27,7 @@ __all__ = ["cpop", "downward_ranks"]
 
 def downward_ranks(workload: Workload) -> np.ndarray:
     """Downward rank: longest mean-cost path from an entry, excluding self."""
-    graph = workload.graph
-    w = workload.mean_durations()
-    ranks = np.zeros(graph.n_tasks)
-    for v in graph.topological_order():
-        v = int(v)
-        for u in graph.predecessors(v):
-            c = workload.mean_comm_time(u, v)
-            ranks[v] = max(ranks[v], ranks[u] + w[u] + c)
-    return ranks
+    return _kernel.downward_ranks(workload)
 
 
 def cpop(workload: Workload, label: str = "CPOP") -> Schedule:
@@ -59,41 +56,34 @@ def cpop(workload: Workload, label: str = "CPOP") -> Schedule:
     cp_set = set(cp_tasks)
     cp_proc = int(np.argmin(workload.comp[cp_tasks].sum(axis=0)))
 
-    import heapq
-
-    remaining_preds = np.array(
-        [len(graph.predecessors(v)) for v in range(n)], dtype=int
-    )
+    csr = graph.csr()
+    lat, tau = workload.platform.latency, workload.platform.tau
+    remaining_preds = np.diff(csr.pred_ptr).astype(int)
     heap = [(-priority[v], v) for v in range(n) if remaining_preds[v] == 0]
     heapq.heapify(heap)
     proc = np.full(n, -1, dtype=np.intp)
     finish = np.zeros(n)
-    timelines = [Timeline() for _ in range(m)]
-
-    def est_on(task: int, p: int) -> float:
-        ready = 0.0
-        for u in graph.predecessors(task):
-            comm = 0.0
-            if int(proc[u]) != p:
-                comm = workload.platform.comm_time(graph.volume(u, task), int(proc[u]), p)
-            ready = max(ready, finish[u] + comm)
-        return ready
+    timelines = _kernel.Timelines(m)
 
     while heap:
         _, task = heapq.heappop(heap)
+        lo, hi = csr.pred_ptr[task], csr.pred_ptr[task + 1]
+        ready = _kernel.ready_times(
+            finish, proc, csr.pred_ids[lo:hi], csr.pred_vol[lo:hi], lat, tau
+        )
+        dur = workload.comp[task].astype(float)
+        starts = timelines.earliest_start(ready, dur, True)
         if task in cp_set:
             p = cp_proc
-            duration = float(workload.comp[task, p])
-            start = timelines[p].earliest_start(est_on(task, p), duration, True)
+            start = float(starts[p])
         else:
+            eft = starts + dur
             p, start, best_eft = -1, 0.0, np.inf
             for q in range(m):
-                duration_q = float(workload.comp[task, q])
-                s = timelines[q].earliest_start(est_on(task, q), duration_q, True)
-                if s + duration_q < best_eft - 1e-12:
-                    p, start, best_eft = q, s, s + duration_q
-            duration = float(workload.comp[task, p])
-        timelines[p].insert(task, start, duration)
+                if eft[q] < best_eft - 1e-12:
+                    p, start, best_eft = q, float(starts[q]), float(eft[q])
+        duration = float(workload.comp[task, p])
+        timelines.insert(p, task, start, duration)
         proc[task] = p
         finish[task] = start + duration
         for s_ in graph.successors(task):
@@ -101,5 +91,4 @@ def cpop(workload: Workload, label: str = "CPOP") -> Schedule:
             if remaining_preds[s_] == 0:
                 heapq.heappush(heap, (-priority[s_], s_))
 
-    orders = [tl.order() for tl in timelines]
-    return Schedule.from_proc_orders(workload, proc, orders, label=label)
+    return Schedule.from_proc_orders(workload, proc, timelines.orders(), label=label)

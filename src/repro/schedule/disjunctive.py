@@ -1,41 +1,131 @@
-"""Disjunctive graphs: precedence + same-processor ordering.
+"""Disjunctive graphs: precedence + same-processor ordering, as flat CSR.
 
 Given a schedule, the makespan of any realization is the longest path in the
 *disjunctive graph*: the application DAG augmented with a zero-volume edge
 between consecutive tasks of each processor's execution order (Shi et al.;
 paper §II).  Every analysis engine — deterministic replay, grid-RV
 propagation, Gaussian propagation and vectorized Monte-Carlo — walks this
-structure in topological order, so it is precomputed once per schedule.
+structure, so it is precomputed once per schedule.
+
+The structure is stored as **flat CSR arrays** plus a precomputed
+**level decomposition** rather than nested per-task tuples:
+
+* ``topo`` is a *level-major* topological order and ``level_ptr`` partitions
+  it into levels (``level(v) = 1 + max(level(preds))``, 0 for entry tasks),
+  so every edge crosses strictly forward in level;
+* ``edge_ptr`` is a CSR index over **topo positions**: the incoming edges of
+  task ``topo[i]`` are ``edge_*[edge_ptr[i]:edge_ptr[i+1]]``.  Per task, the
+  application edges come first (in graph insertion order) followed by the
+  processor-chaining edge, preserving the historical predecessor order;
+* ``edge_src``/``edge_dst``/``edge_volume``/``edge_is_app``/``edge_cross``
+  carry the per-edge payload (``edge_cross`` marks application edges whose
+  endpoints sit on different processors — the only edges that ever pay a
+  communication delay).
+
+Because a level's tasks depend only on earlier levels, the eager
+longest-path propagation used by every engine becomes the level-synchronous
+:meth:`DisjunctiveGraph.propagate` — a gather, an optional per-edge delay
+add and one ``np.maximum.reduceat`` per level — instead of a Python loop
+per task and predecessor.  The arithmetic per task is unchanged, so results
+are bit-identical to the historical loops (verified by the equivalence
+suite in ``tests/schedule/test_kernel_bitidentity.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Sequence
 
 import numpy as np
 
+from repro.dag._csr import group_by, level_topology
 from repro.dag.graph import TaskGraph
 
 __all__ = ["DisjunctiveGraph"]
 
+#: Realization-block budget of the propagation kernel: blocks are sized to
+#: ``_BLOCK_TARGET_ELEMS // n_tasks`` realizations so the task-major finish
+#: slab (~1 MB) plus the level gathers stay cache-resident across a level
+#: sweep.  Blocking is bit-neutral — every operation is elementwise per
+#: realization — so the value only affects speed.
+_BLOCK_TARGET_ELEMS = 1 << 17
+
+
+def _sweep(
+    plan: list,
+    dur_t: np.ndarray,
+    comm: np.ndarray | None,
+    start_t: np.ndarray,
+    finish_t: np.ndarray,
+) -> None:
+    """One slot-planned level sweep over task-major ``(n, …)`` views.
+
+    Per level: slot 0 gathers every task's first incoming arrival, each
+    further slot folds the ``k``-th arrival of the still-active prefix with
+    a running ``np.maximum`` — all plain contiguous ufunc calls.
+    """
+    for tasks, slots in plan:
+        src0, sel0, rows0, _ = slots[0]
+        st = finish_t[src0]
+        if comm is not None:
+            if sel0 is None:
+                st += comm[rows0]
+            elif len(sel0):
+                st[sel0] += comm[rows0]
+        for src_k, sel_k, rows_k, n_k in slots[1:]:
+            tmp = finish_t[src_k]
+            if comm is not None:
+                if sel_k is None:
+                    tmp += comm[rows_k]
+                elif len(sel_k):
+                    tmp[sel_k] += comm[rows_k]
+            np.maximum(st[:n_k], tmp, out=st[:n_k])
+        start_t[tasks] = st
+        st += dur_t[tasks]
+        finish_t[tasks] = st
+
 
 @dataclass(frozen=True)
 class DisjunctiveGraph:
-    """Flattened predecessor structure of a scheduled DAG.
+    """Flattened predecessor structure of a scheduled DAG (CSR + levels).
 
     Attributes
     ----------
     topo:
-        Topological order of the combined graph (array of task ids).
-    preds:
-        ``preds[v]`` is a tuple of ``(u, volume)`` pairs: ``volume`` is the
-        communication volume for application edges and ``None`` for
-        same-processor chaining edges (no data transfer).
+        Level-major topological order of the combined graph (task ids).
+    level_ptr:
+        ``topo[level_ptr[l]:level_ptr[l+1]]`` are the level-``l`` tasks.
+    proc:
+        Processor of each task (derived from the per-processor orders).
+    edge_ptr:
+        CSR index over topo positions: incoming edges of ``topo[i]`` are
+        ``edge_ptr[i]:edge_ptr[i+1]``.
+    edge_src, edge_dst:
+        Endpoint task ids of each edge (``edge_dst[e]`` repeats ``topo[i]``).
+    edge_volume:
+        Application-edge communication volume (0.0 for chaining edges).
+    edge_is_app:
+        Whether the edge is an application edge (chaining edges are the
+        zero-volume same-processor ordering edges).
+    edge_cross:
+        Application edge whose endpoints are on different processors — the
+        only edges that carry a communication delay.
     """
 
     topo: np.ndarray
-    preds: tuple[tuple[tuple[int, float | None], ...], ...]
+    level_ptr: np.ndarray
+    proc: np.ndarray
+    edge_ptr: np.ndarray
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    edge_volume: np.ndarray
+    edge_is_app: np.ndarray
+    edge_cross: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
 
     @classmethod
     def build(
@@ -54,44 +144,253 @@ class DisjunctiveGraph:
         """
         n = graph.n_tasks
         seen = np.zeros(n, dtype=bool)
-        for order in orders:
+        proc = np.zeros(n, dtype=np.intp)
+        for p, order in enumerate(orders):
             for t in order:
                 if seen[t]:
                     raise ValueError(f"task {t} appears on several processors")
                 seen[t] = True
+                proc[t] = p
         if not seen.all():
             missing = np.flatnonzero(~seen)
             raise ValueError(f"tasks not scheduled: {missing.tolist()}")
 
-        preds: list[list[tuple[int, float | None]]] = [[] for _ in range(n)]
-        succs: list[list[int]] = [[] for _ in range(n)]
-        indeg = np.zeros(n, dtype=int)
-
+        # Collect edges: application edges in graph insertion order, then
+        # the chaining edges of the processor orders.
+        app_src: list[int] = []
+        app_dst: list[int] = []
+        app_vol: list[float] = []
         for u, v, volume in graph.edges():
-            preds[v].append((u, volume))
-            succs[u].append(v)
-            indeg[v] += 1
+            app_src.append(u)
+            app_dst.append(v)
+            app_vol.append(volume)
+        chain_src: list[int] = []
+        chain_dst: list[int] = []
         for order in orders:
             for a, b in zip(order, order[1:]):
                 if not graph.has_edge(a, b):
-                    preds[b].append((a, None))
-                    succs[a].append(b)
-                    indeg[b] += 1
+                    chain_src.append(a)
+                    chain_dst.append(b)
 
-        stack = [v for v in range(n) if indeg[v] == 0]
-        topo: list[int] = []
-        while stack:
-            v = stack.pop()
-            topo.append(v)
-            for s in succs[v]:
-                indeg[s] -= 1
-                if indeg[s] == 0:
-                    stack.append(s)
-        if len(topo) != n:
-            raise ValueError(
-                "processor orders contradict precedence constraints (cycle)"
-            )
-        return cls(
-            topo=np.asarray(topo, dtype=np.intp),
-            preds=tuple(tuple(p) for p in preds),
+        n_app, n_chain = len(app_src), len(chain_src)
+        src = np.asarray(app_src + chain_src, dtype=np.intp)
+        dst = np.asarray(app_dst + chain_dst, dtype=np.intp)
+        volume = np.asarray(app_vol + [0.0] * n_chain, dtype=float)
+        is_app = np.zeros(n_app + n_chain, dtype=bool)
+        is_app[:n_app] = True
+
+        topo, level_ptr = level_topology(
+            n, src, dst,
+            "processor orders contradict precedence constraints (cycle)",
         )
+        pos = np.empty(n, dtype=np.intp)
+        pos[topo] = np.arange(n, dtype=np.intp)
+
+        # Group edges by destination topo position; the (app-before-chain,
+        # insertion-order) ordering is preserved because application edges
+        # were collected first and the grouping sort is stable.
+        edge_ptr, perm = group_by(pos[dst], n)
+        src, dst, volume, is_app = src[perm], dst[perm], volume[perm], is_app[perm]
+        cross = is_app & (proc[src] != proc[dst])
+
+        return cls(
+            topo=topo,
+            level_ptr=level_ptr,
+            proc=proc,
+            edge_ptr=edge_ptr,
+            edge_src=src,
+            edge_dst=dst,
+            edge_volume=volume,
+            edge_is_app=is_app,
+            edge_cross=cross,
+        )
+
+    # ------------------------------------------------------------------ #
+    # derived structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks."""
+        return len(self.topo)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges (application + chaining)."""
+        return len(self.edge_src)
+
+    @property
+    def n_levels(self) -> int:
+        """Number of levels in the decomposition."""
+        return len(self.level_ptr) - 1
+
+    @cached_property
+    def topo_pos(self) -> np.ndarray:
+        """Inverse permutation of :attr:`topo` (task id → topo position)."""
+        pos = np.empty(self.n_tasks, dtype=np.intp)
+        pos[self.topo] = np.arange(self.n_tasks, dtype=np.intp)
+        return pos
+
+    @cached_property
+    def out_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Edges grouped by *source* topo position, for reverse passes.
+
+        Returns ``(out_ptr, out_edges)``: the outgoing edges of task
+        ``topo[i]`` are ``out_edges[out_ptr[i]:out_ptr[i+1]]`` (indices into
+        the ``edge_*`` arrays).
+        """
+        out_ptr, out_edges = group_by(self.topo_pos[self.edge_src], self.n_tasks)
+        return out_ptr, out_edges
+
+    @cached_property
+    def preds(self) -> tuple[tuple[tuple[int, float | None], ...], ...]:
+        """Nested-tuple predecessor view (compatibility accessor).
+
+        ``preds[v]`` is a tuple of ``(u, volume)`` pairs, ``volume`` being
+        ``None`` for chaining edges — the historical representation, derived
+        lazily from the CSR arrays for tests and debugging.  Hot paths use
+        the flat arrays directly.
+        """
+        out: list[list[tuple[int, float | None]]] = [[] for _ in range(self.n_tasks)]
+        ep = self.edge_ptr
+        for i in range(self.n_tasks):
+            v = int(self.topo[i])
+            for e in range(ep[i], ep[i + 1]):
+                vol = float(self.edge_volume[e]) if self.edge_is_app[e] else None
+                out[v].append((int(self.edge_src[e]), vol))
+        return tuple(tuple(p) for p in out)
+
+    # ------------------------------------------------------------------ #
+    # level-synchronous propagation kernel
+    # ------------------------------------------------------------------ #
+
+    def propagate(
+        self,
+        durations: np.ndarray,
+        comm: np.ndarray | None = None,
+        comm_cols: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Eager longest-path start/finish times, level-synchronously.
+
+        Parameters
+        ----------
+        durations:
+            ``(..., n)`` task durations; any leading batch shape (e.g. the
+            ``(R, n)`` realization block of the Monte-Carlo engine).
+        comm:
+            Optional per-edge arrival delays, **edge-major**: either a
+            dense ``(E, ...)`` array aligned with the CSR edge order (zeros
+            on delay-free edges), or — with ``comm_cols`` — a compact
+            ``(C, ...)`` block holding only the edges that actually carry a
+            delay (one row per delayed edge, trailing batch axes matching
+            ``durations``' leading ones).
+        comm_cols:
+            ``(E,)`` map from CSR edge to row of ``comm`` (−1 = no delay).
+            Edges without a row receive **no** add at all, matching the
+            historical ``comm_samples.get()`` semantics bit-for-bit.
+
+        Returns
+        -------
+        (start, finish):
+            Arrays of ``durations``' shape (views of task-major internals —
+            transposed, hence possibly non-contiguous): ``start`` is the
+            maximum over incoming edges of ``finish[src] (+ delay)`` (0 for
+            entry tasks) and ``finish = start + durations``.
+
+        Notes
+        -----
+        The kernel works task-major — ``(n, R)`` rather than ``(R, n)`` —
+        so gathering a level's predecessor finishes copies contiguous rows
+        and the per-level segment maximum reduces along the leading axis;
+        wide batches are additionally processed in realization blocks
+        sized to keep the whole finish/duration working set cache-resident
+        across the level sweep.  Both are purely memory-layout choices:
+        every operation is elementwise per realization and the per-task
+        arithmetic is identical to the historical per-predecessor loop, so
+        the values are bit-identical.
+        """
+        durations = np.asarray(durations, dtype=float)
+        dur_t = np.ascontiguousarray(np.moveaxis(durations, -1, 0))
+        start_t = np.empty_like(dur_t)
+        finish_t = np.empty_like(dur_t)
+        lp = self.level_ptr
+
+        entry = self.topo[: lp[1]]
+        start_t[entry] = 0.0
+        plan = self._sweep_plan(comm_cols if comm is not None else None)
+
+        if dur_t.ndim == 1:
+            finish_t[entry] = dur_t[entry]
+            _sweep(plan, dur_t, comm, start_t, finish_t)
+        else:
+            batch = int(np.prod(dur_t.shape[1:]))
+            dur2 = dur_t.reshape(self.n_tasks, batch)
+            start2 = start_t.reshape(self.n_tasks, batch)
+            finish2 = finish_t.reshape(self.n_tasks, batch)
+            comm2 = None if comm is None else comm.reshape(len(comm), batch)
+            # Block the realization axis so the (n, block) finish slab and
+            # the level gathers stay cache-resident across the level sweep.
+            block = max(256, _BLOCK_TARGET_ELEMS // max(1, self.n_tasks))
+            for r0 in range(0, batch, block):
+                r1 = min(r0 + block, batch)
+                d = dur2[:, r0:r1]
+                f = finish2[:, r0:r1]
+                f[entry] = d[entry]
+                _sweep(
+                    plan,
+                    d,
+                    None if comm2 is None else comm2[:, r0:r1],
+                    start2[:, r0:r1],
+                    f,
+                )
+        return np.moveaxis(start_t, 0, -1), np.moveaxis(finish_t, 0, -1)
+
+    def _sweep_plan(self, comm_cols: np.ndarray | None) -> list:
+        """Per-level slot plan for the propagation sweep (cached).
+
+        Within a level the tasks are reordered by descending in-degree, so
+        the tasks that still have a ``k``-th predecessor always form a
+        prefix: slot ``k`` of the sweep then resolves the ``k``-th incoming
+        edge of that prefix with one gather, one optional delay add and one
+        running ``np.maximum`` — no ``reduceat`` (whose axis-0 path is an
+        order of magnitude slower than a plain strided maximum).  Because
+        ``max`` over floats is exact, the slot decomposition is
+        bit-identical to folding each task's predecessors in order.
+
+        Each plan entry is ``(tasks, slots)`` with ``slots`` a list of
+        ``(src, sel, rows, n_k)``: source task ids of the ``k``-th edge of
+        the first ``n_k`` tasks, plus the in-slot positions (``sel``) and
+        ``comm`` rows (``rows``) of the edges that carry a delay (``sel``
+        is ``None`` for a dense ``comm`` aligned with the CSR edge order).
+        """
+        key = "_plan_dense" if comm_cols is None else "_plan_cols"
+        cached = self.__dict__.get(key)
+        if cached is not None and (comm_cols is None or cached[0] is comm_cols):
+            return cached[1] if comm_cols is not None else cached
+        ep, lp, topo, src = self.edge_ptr, self.level_ptr, self.topo, self.edge_src
+        plan = []
+        for l in range(1, self.n_levels):
+            i0, i1 = int(lp[l]), int(lp[l + 1])
+            counts = ep[i0 + 1 : i1 + 1] - ep[i0:i1]
+            order = np.argsort(-counts, kind="stable")
+            tasks = topo[i0:i1][order]
+            starts = ep[i0:i1][order]
+            counts = counts[order]
+            slots = []
+            for k in range(int(counts[0])):
+                n_k = int(np.searchsorted(-counts, -k, side="left"))
+                eids = starts[:n_k] + k
+                if comm_cols is None:
+                    sel: np.ndarray | None = None
+                    rows: np.ndarray = eids
+                else:
+                    cols = comm_cols[eids]
+                    sel = np.flatnonzero(cols >= 0)
+                    rows = cols[sel]
+                slots.append((src[eids], sel, rows, n_k))
+            plan.append((tasks, slots))
+        if comm_cols is None:
+            self.__dict__[key] = plan
+        else:
+            self.__dict__[key] = (comm_cols, plan)
+        return plan

@@ -10,6 +10,11 @@ where ``SL`` is the static level (largest sum of mean execution costs on
 any path from ``t`` to an exit task, communications excluded) and
 ``Δ(t, p) = w̄(t) − w(t, p)`` rewards machines that run ``t`` faster than
 average (the generalized-dynamic-level term that handles heterogeneity).
+
+The per-(task, processor, predecessor) loops of the historical
+implementation are replaced by one vectorized ``(preds, m)`` data-ready
+query per ready task (kernel EFT primitive) — bit-identical selection
+because the lexicographic ``(DL, −EST, −t, −p)`` tie-breaking is preserved.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.platform.workload import Workload
+from repro.schedule import _kernel
 from repro.schedule.schedule import Schedule
 
 __all__ = ["dls", "static_levels"]
@@ -24,14 +30,7 @@ __all__ = ["dls", "static_levels"]
 
 def static_levels(workload: Workload) -> np.ndarray:
     """Static level SL(t): mean-cost longest path to an exit, no comm."""
-    graph = workload.graph
-    w = workload.mean_durations()
-    sl = np.zeros(graph.n_tasks)
-    for v in graph.topological_order()[::-1]:
-        v = int(v)
-        tail = max((sl[s] for s in graph.successors(v)), default=0.0)
-        sl[v] = w[v] + tail
-    return sl
+    return _kernel.static_levels(workload)
 
 
 def dls(workload: Workload, label: str = "DLS") -> Schedule:
@@ -41,42 +40,51 @@ def dls(workload: Workload, label: str = "DLS") -> Schedule:
     sl = static_levels(workload)
     mean_costs = workload.mean_durations()
 
-    remaining_preds = np.array(
-        [len(graph.predecessors(v)) for v in range(n)], dtype=int
-    )
-    ready = {v for v in range(n) if remaining_preds[v] == 0}
+    csr = graph.csr()
+    lat, tau = workload.platform.latency, workload.platform.tau
+    remaining_preds = np.diff(csr.pred_ptr).astype(int)
     proc = np.full(n, -1, dtype=np.intp)
     finish = np.zeros(n)
     avail = np.zeros(m)
     sequence: list[tuple[int, int]] = []
 
+    # A task's data-ready vector is fixed the moment it becomes ready
+    # (all predecessors placed), so it is computed exactly once; only the
+    # ``max(·, avail)`` and the dynamic level change between steps.
+    data_ready: dict[int, np.ndarray] = {}
+    deltas: dict[int, np.ndarray] = {}
+
+    def enter(t: int) -> None:
+        lo, hi = csr.pred_ptr[t], csr.pred_ptr[t + 1]
+        data_ready[t] = _kernel.ready_times(
+            finish, proc, csr.pred_ids[lo:hi], csr.pred_vol[lo:hi], lat, tau
+        )
+        deltas[t] = mean_costs[t] - workload.comp[t]
+
+    ready = {v for v in range(n) if remaining_preds[v] == 0}
+    for v in ready:
+        enter(v)
+
     while ready:
-        best = None  # (dl, -est, task, proc)
+        best = None  # ((dl, -est, -t, -p), task, proc, est)
         for t in sorted(ready):
-            delta = mean_costs[t] - workload.comp[t]
+            est = np.maximum(data_ready[t], avail)
+            dl = sl[t] - est + deltas[t]
             for p in range(m):
-                data_ready = 0.0
-                for u in graph.predecessors(t):
-                    comm = 0.0
-                    if int(proc[u]) != p:
-                        comm = workload.platform.comm_time(
-                            graph.volume(u, t), int(proc[u]), p
-                        )
-                    data_ready = max(data_ready, finish[u] + comm)
-                est = max(data_ready, avail[p])
-                dl = sl[t] - est + delta[p]
-                key = (dl, -est, -t, -p)
+                key = (dl[p], -est[p], -t, -p)
                 if best is None or key > best[0]:
-                    best = (key, t, p, est)
+                    best = (key, t, p, est[p])
         (_, t, p, est) = best  # type: ignore[misc]
         proc[t] = p
         finish[t] = est + workload.comp[t, p]
         avail[p] = finish[t]
         sequence.append((t, p))
         ready.remove(t)
+        del data_ready[t], deltas[t]
         for s in graph.successors(t):
             remaining_preds[s] -= 1
             if remaining_preds[s] == 0:
                 ready.add(s)
+                enter(s)
 
     return Schedule.from_assignment_sequence(workload, sequence, label=label)

@@ -12,6 +12,12 @@ Two phases:
 
 The resulting per-processor orders define an eager schedule; replaying them
 eagerly reproduces HEFT's own start times.
+
+Both phases run on the vectorized scheduler core
+(:mod:`repro.schedule._kernel`): ranks are level-synchronous CSR passes and
+each task's EFT is evaluated on all ``m`` processors with one array query —
+bit-identical (including every ``1e-12`` tie-break) to the historical
+per-processor loops kept in :mod:`repro.schedule._reference`.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.platform.workload import Workload
-from repro.schedule._timeline import Timeline
+from repro.schedule import _kernel
 from repro.schedule.schedule import Schedule
 
 __all__ = ["heft", "upward_ranks"]
@@ -33,17 +39,7 @@ def upward_ranks(
     ``durations`` overrides the per-task cost vector (used by the σ-HEFT
     extension which ranks by mean + k·σ).
     """
-    graph = workload.graph
-    w = workload.mean_durations() if durations is None else np.asarray(durations)
-    ranks = np.zeros(graph.n_tasks)
-    for v in graph.topological_order()[::-1]:
-        v = int(v)
-        tail = 0.0
-        for s in graph.successors(v):
-            c = workload.mean_comm_time(v, s)
-            tail = max(tail, c + ranks[s])
-        ranks[v] = w[v] + tail
-    return ranks
+    return _kernel.upward_ranks(workload, durations)
 
 
 def heft(
@@ -65,7 +61,6 @@ def heft(
         *returned* schedule always replays with the workload's true minimum
         durations.
     """
-    graph = workload.graph
     n, m = workload.n_tasks, workload.m
     costs = workload.comp if comp is None else np.asarray(comp)
     ranks = upward_ranks(workload, durations)
@@ -73,32 +68,29 @@ def heft(
     # edges for positive costs); ties broken by task id for determinism.
     order = sorted(range(n), key=lambda t: (-ranks[t], t))
 
+    csr = workload.graph.csr()
+    lat, tau = workload.platform.latency, workload.platform.tau
     proc = np.full(n, -1, dtype=np.intp)
     finish = np.zeros(n)
-    timelines = [Timeline() for _ in range(m)]
+    timelines = _kernel.Timelines(m)
 
     for task in order:
-        best_p, best_start, best_finish = -1, 0.0, np.inf
+        lo, hi = csr.pred_ptr[task], csr.pred_ptr[task + 1]
+        ready = _kernel.ready_times(
+            finish, proc, csr.pred_ids[lo:hi], csr.pred_vol[lo:hi], lat, tau
+        )
+        dur = costs[task].astype(float)
+        start = timelines.earliest_start(ready, dur, insertion)
+        eft = start + dur
+        # Sequential strict-improvement scan, exactly like the historical
+        # per-processor loop (a later processor must beat the incumbent by
+        # more than 1e-12 to win the tie).
+        best_p, best_finish = -1, np.inf
         for p in range(m):
-            ready = 0.0
-            for u in graph.predecessors(task):
-                comm = 0.0
-                if int(proc[u]) != p:
-                    comm = workload.platform.comm_time(
-                        graph.volume(u, task), int(proc[u]), p
-                    )
-                arrival = finish[u] + comm
-                if arrival > ready:
-                    ready = arrival
-            duration = float(costs[task, p])
-            start = timelines[p].earliest_start(ready, duration, insertion)
-            eft = start + duration
-            if eft < best_finish - 1e-12:
-                best_p, best_start, best_finish = p, start, eft
-        duration = float(costs[task, best_p])
-        timelines[best_p].insert(task, best_start, duration)
+            if eft[p] < best_finish - 1e-12:
+                best_p, best_finish = p, float(eft[p])
+        timelines.insert(best_p, task, float(start[best_p]), float(dur[best_p]))
         proc[task] = best_p
         finish[task] = best_finish
 
-    orders = [tl.order() for tl in timelines]
-    return Schedule.from_proc_orders(workload, proc, orders, label=label)
+    return Schedule.from_proc_orders(workload, proc, timelines.orders(), label=label)

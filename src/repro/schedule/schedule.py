@@ -9,10 +9,12 @@ with the disjunctive graph that every uncertainty analysis reuses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Sequence
 
 import numpy as np
 
+from repro.platform.platform import Platform
 from repro.platform.workload import Workload
 from repro.schedule.disjunctive import DisjunctiveGraph
 
@@ -134,11 +136,21 @@ class Schedule:
         """Minimum duration of each task on its assigned processor."""
         return self.workload.comp[np.arange(self.workload.n_tasks), self.proc]
 
-    def comm_edges(self) -> list[tuple[int, int, float]]:
-        """Cross-processor application edges as ``(u, v, min_comm_time)``.
+    @cached_property
+    def _edge_min_comm(self) -> np.ndarray:
+        return _edge_min_comm(self.workload.platform, self._disjunctive)
 
-        Same-processor edges cost zero and are omitted.
+    def edge_min_comm(self) -> np.ndarray:
+        """Minimum communication time of every disjunctive CSR edge.
+
+        Zero on chaining and same-processor edges; ``L + volume·τ`` on
+        cross-processor application edges.  Cached — this is the per-edge
+        delay vector every propagation kernel consumes.
         """
+        return self._edge_min_comm
+
+    @cached_property
+    def _comm_edges(self) -> list[tuple[int, int, float]]:
         out = []
         for u, v, volume in self.workload.graph.edges():
             p, q = int(self.proc[u]), int(self.proc[v])
@@ -146,38 +158,71 @@ class Schedule:
                 out.append((u, v, self.workload.platform.comm_time(volume, p, q)))
         return out
 
+    def comm_edges(self) -> list[tuple[int, int, float]]:
+        """Cross-processor application edges as ``(u, v, min_comm_time)``.
+
+        Same-processor edges cost zero and are omitted.  Cached — do not
+        mutate the returned list.
+        """
+        return self._comm_edges
+
+    @cached_property
+    def comm_edge_cols(self) -> np.ndarray:
+        """``(E,)`` map from disjunctive CSR edge to :meth:`comm_edges` row.
+
+        −1 on edges that carry no communication (chaining and
+        same-processor edges).  This is the cached plumbing that lets the
+        Monte-Carlo engine feed an edge-major sample block (one row per
+        ``comm_edges`` entry) straight into the propagation kernel.
+        """
+        index = {
+            (u, v): i for i, (u, v, _) in enumerate(self.comm_edges())
+        }
+        dis = self._disjunctive
+        cols = np.full(dis.n_edges, -1, dtype=np.intp)
+        for e in np.flatnonzero(dis.edge_cross):
+            row = index.get((int(dis.edge_src[e]), int(dis.edge_dst[e])))
+            if row is not None:
+                cols[e] = row
+        return cols
+
     def validate(self) -> None:
         """Re-check structural and temporal consistency (for tests/debugging).
 
         Verifies precedence-with-communication feasibility, per-processor
-        non-overlap, and the eager property (no avoidable idle time).
+        non-overlap, and the eager property (no avoidable idle time) — all
+        as vectorized passes over the disjunctive CSR arrays.
         """
         w = self.workload
+        dis = self._disjunctive
         start, finish = self.start, self.finish
         dur = self.min_durations()
         if not np.allclose(finish, start + dur):
             raise ValueError("finish times do not equal start + duration")
-        for u, v, volume in w.graph.edges():
-            comm = w.platform.comm_time(volume, int(self.proc[u]), int(self.proc[v]))
-            if self.proc[u] == self.proc[v]:
-                comm = 0.0
-            if start[v] < finish[u] + comm - 1e-9:
-                raise ValueError(f"precedence violated on edge ({u}, {v})")
+        # Precedence with communication, over application edges.
+        app = np.flatnonzero(dis.edge_is_app)
+        arrival = finish[dis.edge_src[app]] + self.edge_min_comm()[app]
+        bad = np.flatnonzero(start[dis.edge_dst[app]] < arrival - 1e-9)
+        if bad.size:
+            e = app[bad[0]]
+            raise ValueError(
+                f"precedence violated on edge "
+                f"({int(dis.edge_src[e])}, {int(dis.edge_dst[e])})"
+            )
         for p, order in enumerate(self.orders):
-            for a, b in zip(order, order[1:]):
-                if start[b] < finish[a] - 1e-9:
-                    raise ValueError(f"overlap between tasks {a} and {b} on proc {p}")
+            if len(order) < 2:
+                continue
+            a = np.asarray(order[:-1], dtype=np.intp)
+            b = np.asarray(order[1:], dtype=np.intp)
+            bad = np.flatnonzero(start[b] < finish[a] - 1e-9)
+            if bad.size:
+                i = bad[0]
+                raise ValueError(
+                    f"overlap between tasks {int(a[i])} and {int(b[i])} on proc {p}"
+                )
         # Eagerness: each task starts exactly at its ready time.
         ready = np.zeros(w.n_tasks)
-        for v in self._disjunctive.topo:
-            v = int(v)
-            r = 0.0
-            for u, volume in self._disjunctive.preds[v]:
-                comm = 0.0
-                if volume is not None and self.proc[u] != self.proc[v]:
-                    comm = w.platform.comm_time(volume, int(self.proc[u]), int(self.proc[v]))
-                r = max(r, finish[u] + comm)
-            ready[v] = r
+        np.maximum.at(ready, dis.edge_dst, finish[dis.edge_src] + self.edge_min_comm())
         if not np.allclose(ready, start, atol=1e-9):
             raise ValueError("schedule is not eager (avoidable idle time found)")
 
@@ -234,27 +279,21 @@ class Schedule:
         )
 
 
+def _edge_min_comm(platform: Platform, dis: DisjunctiveGraph) -> np.ndarray:
+    """Minimum comm time of every disjunctive CSR edge (vectorized L + c·τ)."""
+    pu = dis.proc[dis.edge_src]
+    pv = dis.proc[dis.edge_dst]
+    return np.where(
+        dis.edge_cross,
+        platform.latency[pu, pv] + dis.edge_volume * platform.tau[pu, pv],
+        0.0,
+    )
+
+
 def _replay(
     workload: Workload, proc: np.ndarray, dis: DisjunctiveGraph
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Eager start/finish times under minimum durations."""
+    """Eager start/finish times under minimum durations (level-synchronous)."""
     n = workload.n_tasks
-    start = np.zeros(n)
-    finish = np.zeros(n)
-    comp = workload.comp
-    platform = workload.platform
-    for v in dis.topo:
-        v = int(v)
-        t = 0.0
-        pv = int(proc[v])
-        for u, volume in dis.preds[v]:
-            comm = 0.0
-            pu = int(proc[u])
-            if volume is not None and pu != pv:
-                comm = platform.comm_time(volume, pu, pv)
-            arrival = finish[u] + comm
-            if arrival > t:
-                t = arrival
-        start[v] = t
-        finish[v] = t + comp[v, pv]
-    return start, finish
+    durations = workload.comp[np.arange(n), proc]
+    return dis.propagate(durations, _edge_min_comm(workload.platform, dis))

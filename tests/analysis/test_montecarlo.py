@@ -201,9 +201,19 @@ class TestBatchSampling:
         vec = sample_makespans_batch(scheds, m, 123, 400)
         assert np.array_equal(ref, vec)
 
+    def test_population_size_does_not_change_values(self, small_workload, model):
+        # All randomness is drawn up front from the workload alone, so the
+        # rows of a batch are independent of how many schedules ride along.
+        scheds = list(random_schedules(small_workload, 6, rng=12))
+        full = sample_makespans_batch(scheds, model, 5, 200)
+        prefix = sample_makespans_batch(scheds[:2], model, 5, 200)
+        assert np.array_equal(full[:2], prefix)
+
     def test_vectorization_chunk_size_does_not_change_values(
         self, small_workload, model, monkeypatch
     ):
+        # Force one-schedule chunks so the lo>0 iterations and per-chunk
+        # padded-table construction are exercised and proven bit-neutral.
         import repro.analysis.montecarlo as mc
 
         scheds = list(random_schedules(small_workload, 6, rng=12))

@@ -269,3 +269,48 @@ class TestCacheIterResults:
         cache = ArtifactCache(tmp_path / "never-created")
         assert list(cache.iter_results()) == []
         assert list(cache.iter_results([])) == []
+
+
+class TestPercentileColumn:
+    """The P²-streamed per-case p50/p95 makespan column (ROADMAP follow-up)."""
+
+    def test_case_contribution_percentiles_track_exact_quantiles(self):
+        case, result = _fake_case_and_result(3, n_random=400)
+        c = case_contribution(0, case, result)
+        ms = result.panel.column("makespan")[: case.n_random]
+        # P² is approximate; at 400 samples it lands within a few percent.
+        assert c.makespan_p50 == pytest.approx(float(np.quantile(ms, 0.5)), rel=0.05)
+        assert c.makespan_p95 == pytest.approx(float(np.quantile(ms, 0.95)), rel=0.05)
+        assert c.makespan_p50 <= c.makespan_p95
+
+    def test_case_rows_follow_fold_order_and_survive_merge(self):
+        pairs = [_fake_case_and_result(i) for i in range(4)]
+        agg = SuiteAggregator()
+        for index in (2, 0, 3, 1):  # arrival order ≠ case order
+            agg.add_case(index, *pairs[index])
+        rows = agg.finalize().case_rows
+        assert [name for name, _, _ in rows] == [f"fake_{i}" for i in range(4)]
+        assert all(np.isfinite(p50) and np.isfinite(p95) for _, p50, p95 in rows)
+
+        half_a, half_b = SuiteAggregator(ordered=False), SuiteAggregator(ordered=False)
+        half_a.add_case(0, *pairs[0])
+        half_a.add_case(1, *pairs[1])
+        half_b.add_case(2, *pairs[2])
+        half_b.add_case(3, *pairs[3])
+        half_a.merge(half_b)
+        assert half_a.finalize().case_rows == rows
+
+    def test_percentile_column_rendered_and_identical_across_paths(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        run = fig6_aggregate.run(TINY, specs=SPECS, cache=cache, stream=True)
+        from_cache = fig6_aggregate.aggregate_from_cache(
+            TINY, specs=SPECS, cache=cache
+        )
+        assert run.case_rows == from_cache.case_rows
+        assert len(run.case_rows) == len(SPECS)
+        table = run.percentile_summary()
+        assert "p50(M)" in table and "p95(M)" in table
+        for name, p50, p95 in run.case_rows:
+            assert name in table
+            assert 0.0 < p50 <= p95
+        assert run.percentile_summary() in run.render()

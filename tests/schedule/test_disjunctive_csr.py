@@ -1,0 +1,202 @@
+"""Structural properties of the CSR disjunctive graph + level decomposition.
+
+The propagation kernels are only correct if the level decomposition is a
+valid antichain partition of the topological order and the CSR arrays are
+an exact, order-preserving re-encoding of the historical nested-tuple
+predecessor store.  These properties are checked on random DAGs with
+random schedules (plus the structured families).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dag import TaskGraph
+from repro.platform import (
+    Platform,
+    Workload,
+    cholesky_workload,
+    ge_workload,
+    lu_workload,
+    random_workload,
+)
+from repro.schedule import Schedule
+from repro.schedule.disjunctive import DisjunctiveGraph
+from repro.schedule.random_schedule import random_schedule
+
+
+def naive_preds(graph, orders):
+    """The historical nested-tuple predecessor construction (reference)."""
+    n = graph.n_tasks
+    preds = [[] for _ in range(n)]
+    for u, v, volume in graph.edges():
+        preds[v].append((u, volume))
+    for order in orders:
+        for a, b in zip(order, order[1:]):
+            if not graph.has_edge(a, b):
+                preds[b].append((a, None))
+    return tuple(tuple(p) for p in preds)
+
+
+def random_cases(count=12, seed=0):
+    gen = np.random.default_rng(seed)
+    for i in range(count):
+        n = int(gen.integers(2, 60))
+        m = int(gen.integers(1, 6))
+        w = random_workload(n, m, rng=int(gen.integers(1 << 30)))
+        s = random_schedule(w, rng=int(gen.integers(1 << 30)))
+        yield w, s
+
+
+class TestLevelDecomposition:
+    @pytest.mark.parametrize("case_i,ws", list(enumerate(random_cases())))
+    def test_levels_partition_topo_and_respect_edges(self, case_i, ws):
+        w, s = ws
+        dis = s.disjunctive()
+        n = w.n_tasks
+        # topo is a permutation of the tasks.
+        assert sorted(dis.topo.tolist()) == list(range(n))
+        # level_ptr partitions it into non-empty levels.
+        lp = dis.level_ptr
+        assert lp[0] == 0 and lp[-1] == n
+        assert np.all(np.diff(lp) > 0)
+        # Every edge crosses strictly forward in level.
+        level = np.empty(n, dtype=int)
+        for l in range(dis.n_levels):
+            level[dis.topo[lp[l] : lp[l + 1]]] = l
+        assert np.all(level[dis.edge_src] < level[dis.edge_dst])
+        # level(v) is exactly 1 + max level of its predecessors.
+        for i in range(n):
+            v = int(dis.topo[i])
+            e0, e1 = int(dis.edge_ptr[i]), int(dis.edge_ptr[i + 1])
+            if e0 == e1:
+                assert level[v] == 0
+            else:
+                assert level[v] == 1 + int(level[dis.edge_src[e0:e1]].max())
+        # topo is a valid topological order of the disjunctive graph.
+        pos = dis.topo_pos
+        assert np.all(pos[dis.edge_src] < pos[dis.edge_dst])
+
+    @pytest.mark.parametrize("case_i,ws", list(enumerate(random_cases(seed=7))))
+    def test_csr_matches_naive_pred_construction(self, case_i, ws):
+        """CSR arrays re-encode the historical store, order included.
+
+        The per-task predecessor *order* matters: the grid/Gaussian engines
+        fold maxima in that order, so it must survive the CSR re-encoding
+        bit-for-bit.
+        """
+        w, s = ws
+        dis = s.disjunctive()
+        assert dis.preds == naive_preds(w.graph, s.orders)
+
+    def test_edge_cross_marks_cross_processor_app_edges(self):
+        g = TaskGraph(4, [(0, 1, 2.0), (0, 2, 3.0), (1, 3, 0.0), (2, 3, 1.0)])
+        comp = np.ones((4, 2))
+        w = Workload(g, Platform.uniform(2), comp)
+        s = Schedule.from_proc_orders(w, [0, 0, 1, 1], [(0, 1), (2, 3)])
+        dis = s.disjunctive()
+        cross = {
+            (int(u), int(v))
+            for u, v in zip(dis.edge_src[dis.edge_cross], dis.edge_dst[dis.edge_cross])
+        }
+        # (0,1) same-proc; (2,3) same-proc; (0,2) and (1,3) cross.
+        assert cross == {(0, 2), (1, 3)}
+        # Chaining edges are never cross.
+        assert not np.any(dis.edge_cross & ~dis.edge_is_app)
+
+    def test_structured_families(self):
+        for w in (
+            cholesky_workload(5, 4, rng=1),
+            ge_workload(6, 3, rng=2),
+            lu_workload(4, 2, rng=3),
+        ):
+            s = random_schedule(w, rng=9)
+            dis = s.disjunctive()
+            assert dis.preds == naive_preds(w.graph, s.orders)
+            assert sorted(dis.topo.tolist()) == list(range(w.n_tasks))
+
+
+class TestPropagateKernel:
+    def naive_propagate(self, dis, durations, comm):
+        """Per-task reference of the level-synchronous kernel (dense comm)."""
+        n = len(dis.topo)
+        start = np.zeros(n)
+        finish = np.zeros(n)
+        pos = dis.topo_pos
+        for i in range(n):
+            v = int(dis.topo[i])
+            best = 0.0
+            for e in range(int(dis.edge_ptr[i]), int(dis.edge_ptr[i + 1])):
+                best = max(best, finish[int(dis.edge_src[e])] + comm[e])
+            start[v] = best
+            finish[v] = best + durations[v]
+        assert np.all(pos[dis.edge_src] < pos[dis.edge_dst])
+        return start, finish
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_naive_reference(self, seed):
+        gen = np.random.default_rng(seed)
+        w = random_workload(int(gen.integers(2, 50)), 3, rng=seed)
+        s = random_schedule(w, rng=seed + 100)
+        dis = s.disjunctive()
+        durations = gen.uniform(0.5, 2.0, w.n_tasks)
+        comm = np.where(dis.edge_cross, gen.uniform(0.0, 1.0, dis.n_edges), 0.0)
+        start, finish = dis.propagate(durations, comm)
+        rs, rf = self.naive_propagate(dis, durations, comm)
+        assert np.array_equal(start, rs)
+        assert np.array_equal(finish, rf)
+
+    def test_batched_rows_match_single_rows(self):
+        w = random_workload(30, 4, rng=5)
+        s = random_schedule(w, rng=6)
+        dis = s.disjunctive()
+        gen = np.random.default_rng(0)
+        durations = gen.uniform(0.5, 2.0, (7, w.n_tasks))
+        comm = np.where(
+            dis.edge_cross[:, None],
+            gen.uniform(0.0, 1.0, (dis.n_edges, 7)),
+            0.0,
+        )
+        start, finish = dis.propagate(durations, comm)
+        for r in range(7):
+            s1, f1 = dis.propagate(durations[r], comm[:, r])
+            assert np.array_equal(start[r], s1)
+            assert np.array_equal(finish[r], f1)
+
+    def test_realization_blocking_is_bit_neutral(self, monkeypatch):
+        import repro.schedule.disjunctive as dj
+
+        w = random_workload(25, 3, rng=8)
+        s = random_schedule(w, rng=9)
+        dis = s.disjunctive()
+        gen = np.random.default_rng(1)
+        durations = gen.uniform(0.5, 2.0, (64, w.n_tasks))
+        full = dis.propagate(durations)
+        monkeypatch.setattr(dj, "_BLOCK_TARGET_ELEMS", 1)  # tiny blocks
+        tiny = dis.propagate(durations)
+        assert np.array_equal(full[0], tiny[0])
+        assert np.array_equal(full[1], tiny[1])
+
+
+class TestBuildValidation:
+    def test_rejects_duplicated_task(self):
+        g = TaskGraph(3, [(0, 1, 0.0)])
+        with pytest.raises(ValueError, match="several processors"):
+            DisjunctiveGraph.build(g, [(0, 1), (1, 2)])
+
+    def test_rejects_missing_task(self):
+        g = TaskGraph(3, [(0, 1, 0.0)])
+        with pytest.raises(ValueError, match="not scheduled"):
+            DisjunctiveGraph.build(g, [(0, 1), ()])
+
+    def test_rejects_cycle(self):
+        g = TaskGraph(3, [(0, 1, 0.0), (1, 2, 0.0)])
+        with pytest.raises(ValueError, match="cycle"):
+            DisjunctiveGraph.build(g, [(2, 0, 1)] + [()])
+
+    def test_single_task_graph(self):
+        g = TaskGraph(1)
+        dis = DisjunctiveGraph.build(g, [(0,)])
+        assert dis.n_levels == 1
+        assert dis.n_edges == 0
+        start, finish = dis.propagate(np.array([3.0]))
+        assert start[0] == 0.0 and finish[0] == 3.0

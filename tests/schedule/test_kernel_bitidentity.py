@@ -1,0 +1,175 @@
+"""Old-vs-new bit-identity of the vectorized scheduler core.
+
+Every heuristic port must produce the *same schedule* (assignment, orders,
+start/finish times, makespan) as the frozen pre-kernel implementation in
+:mod:`repro.schedule._reference`, over every graph family × insertion
+policy.  The kernel primitives (ranks, timelines) are additionally checked
+head-to-head against their legacy counterparts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dag.fork_join import fork_join_dag
+from repro.platform import (
+    cholesky_workload,
+    ge_workload,
+    lu_workload,
+    random_workload,
+    workload_for_graph,
+)
+from repro.schedule import bil, bmct, cpop, dls, heft
+from repro.schedule import _kernel
+from repro.schedule._reference import (
+    bil_levels_reference,
+    bil_reference,
+    bmct_reference,
+    cpop_reference,
+    dls_reference,
+    downward_ranks_reference,
+    heft_reference,
+    static_levels_reference,
+    upward_ranks_reference,
+)
+from repro.schedule._timeline import Timeline
+
+
+def families():
+    return [
+        ("fork_join", workload_for_graph(fork_join_dag(9), 4, rng=11)),
+        ("cholesky", cholesky_workload(5, 4, rng=12)),
+        ("lu", lu_workload(4, 3, rng=13)),
+        ("gaussian_elim", ge_workload(6, 5, rng=14)),
+        ("random", random_workload(45, 6, rng=15)),
+    ]
+
+
+def assert_same_schedule(a, b):
+    assert a.signature() == b.signature()
+    assert np.array_equal(a.proc, b.proc)
+    assert a.orders == b.orders
+    assert np.array_equal(a.start, b.start)
+    assert np.array_equal(a.finish, b.finish)
+    assert a.makespan == b.makespan
+
+
+class TestHeuristicSweep:
+    @pytest.mark.parametrize("name,w", families(), ids=lambda x: x if isinstance(x, str) else "")
+    @pytest.mark.parametrize(
+        "new_fn,ref_fn",
+        [
+            (heft, heft_reference),
+            (cpop, cpop_reference),
+            (bmct, bmct_reference),
+            (dls, dls_reference),
+            (bil, bil_reference),
+        ],
+        ids=["heft", "cpop", "bmct", "dls", "bil"],
+    )
+    def test_bit_identical_schedules(self, name, w, new_fn, ref_fn):
+        assert_same_schedule(new_fn(w), ref_fn(w))
+
+    @pytest.mark.parametrize("name,w", families(), ids=lambda x: x if isinstance(x, str) else "")
+    @pytest.mark.parametrize("insertion", [True, False], ids=["ins", "noins"])
+    def test_heft_insertion_policies(self, name, w, insertion):
+        assert_same_schedule(
+            heft(w, insertion=insertion), heft_reference(w, insertion=insertion)
+        )
+
+    def test_sigma_heft_overrides(self):
+        # The σ-HEFT hooks (rank vector + cost matrix overrides) must stay
+        # bit-identical too.
+        w = cholesky_workload(5, 4, rng=20)
+        gen = np.random.default_rng(3)
+        durations = w.mean_durations() * gen.uniform(1.0, 1.3, w.n_tasks)
+        comp = w.comp * gen.uniform(1.0, 1.2, w.comp.shape)
+        assert_same_schedule(
+            heft(w, durations=durations, comp=comp),
+            heft_reference(w, durations=durations, comp=comp),
+        )
+
+
+class TestRankPrimitives:
+    @pytest.mark.parametrize("name,w", families(), ids=lambda x: x if isinstance(x, str) else "")
+    def test_ranks_bit_identical(self, name, w):
+        assert np.array_equal(_kernel.upward_ranks(w), upward_ranks_reference(w))
+        assert np.array_equal(_kernel.downward_ranks(w), downward_ranks_reference(w))
+        assert np.array_equal(_kernel.static_levels(w), static_levels_reference(w))
+        assert np.array_equal(_kernel.bil_levels(w), bil_levels_reference(w))
+
+
+class TestTimelinesVsLegacy:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_insertion_traces(self, seed):
+        """Array timelines replay a legacy timeline trace bit-for-bit."""
+        gen = np.random.default_rng(seed)
+        m = int(gen.integers(1, 5))
+        legacy = [Timeline() for _ in range(m)]
+        kernel = _kernel.Timelines(m)
+        for task in range(40):
+            ready = gen.uniform(0.0, 30.0, m)
+            dur = gen.uniform(0.1, 5.0, m)
+            insertion = bool(gen.integers(2))
+            got = kernel.earliest_start(ready, dur, insertion)
+            want = np.array(
+                [
+                    legacy[p].earliest_start(float(ready[p]), float(dur[p]), insertion)
+                    for p in range(m)
+                ]
+            )
+            assert np.array_equal(got, want), (task, insertion)
+            assert np.array_equal(
+                kernel.available, [tl.available for tl in legacy]
+            )
+            p = int(gen.integers(m))
+            kernel.insert(p, task, float(got[p]), float(dur[p]))
+            legacy[p].insert(task, float(want[p]), float(dur[p]))
+        assert kernel.orders() == [tl.order() for tl in legacy]
+
+    def test_overlap_rejected_like_legacy(self):
+        kernel = _kernel.Timelines(1)
+        legacy = Timeline()
+        kernel.insert(0, 0, 0.0, 2.0)
+        legacy.insert(0, 0.0, 2.0)
+        with pytest.raises(ValueError, match="overlap"):
+            kernel.insert(0, 1, 1.0, 2.0)
+        with pytest.raises(ValueError, match="overlap"):
+            legacy.insert(1, 1.0, 2.0)
+
+    def test_zero_duration_slot_does_not_block_equal_start_insert(self):
+        # A positive-duration task must remain insertable at the same
+        # instant as an existing zero-duration slot (start-keyed search
+        # places the newcomer after it), in both implementations.
+        kernel = _kernel.Timelines(1)
+        legacy = Timeline()
+        kernel.insert(0, 0, 0.0, 0.0)
+        legacy.insert(0, 0.0, 0.0)
+        kernel.insert(0, 1, 0.0, 5.0)
+        legacy.insert(1, 0.0, 5.0)
+        assert kernel.orders() == [[0, 1]]
+        assert legacy.order() == [0, 1]
+
+    def test_zero_duration_task_schedules_end_to_end(self):
+        # Workload.validate allows zero computation costs; scheduling a
+        # zero-duration predecessor must not trip the overlap check.
+        from repro.dag import TaskGraph
+        from repro.platform import Platform, Workload
+
+        g = TaskGraph(2, [(0, 1, 0.0)])
+        w = Workload(g, Platform.uniform(1), np.array([[0.0], [5.0]]))
+        s = heft(w)
+        assert s.makespan == 5.0
+        assert_same_schedule(s, heft_reference(w))
+
+    def test_growth_beyond_initial_capacity(self):
+        kernel = _kernel.Timelines(1, capacity=2)
+        legacy = Timeline()
+        for i in range(20):
+            start = float(2 * i)
+            kernel.insert(0, i, start, 1.0)
+            legacy.insert(i, start, 1.0)
+        # Gap-fill after growth still matches.
+        ready, dur = np.array([0.0]), np.array([0.5])
+        got = kernel.earliest_start(ready, dur, True)
+        assert got[0] == legacy.earliest_start(0.0, 0.5, True)
+        assert kernel.orders() == [legacy.order()]

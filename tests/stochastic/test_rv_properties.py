@@ -72,11 +72,14 @@ def test_sum_commutative(a, b):
 @given(rvs(), rvs())
 @settings(max_examples=40, deadline=None)
 def test_max_dominates_operands_mean(a, b):
-    # 5e-3 relative: adversarial shape mixtures (a near-α=1 spike inside a
-    # much wider operand) lose ≈0.2% of the mean to the 65-point output grid.
+    # E(max(a, b)) ≥ max(E(a), E(b)) holds exactly; on the 65-point output
+    # grid the discretization can lose up to ~dx/2 of the mean when a
+    # narrow spike sits inside a much wider operand's support (observed
+    # ≈0.48·dx adversarially), so bound the violation by the output grid
+    # step — a fixed relative tolerance is wrong for wide supports.
     m = a.maximum(b)
-    scale = max(abs(a.mean()), abs(b.mean()), 1.0)
-    assert m.mean() >= max(a.mean(), b.mean()) - 5e-3 * scale
+    slack = 0.75 * m.dx + 1e-9
+    assert m.mean() >= max(a.mean(), b.mean()) - slack
 
 
 @given(rvs(), rvs())

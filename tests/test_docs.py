@@ -11,7 +11,12 @@ import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-REQUIRED_DOCS = ["README.md", "docs/architecture.md", "docs/metrics.md"]
+REQUIRED_DOCS = [
+    "README.md",
+    "docs/architecture.md",
+    "docs/metrics.md",
+    "docs/performance.md",
+]
 
 #: Markdown inline links ``[text](target)``, excluding images and code spans.
 _LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
