@@ -1,11 +1,12 @@
 """Parallel, cached campaign execution over independent experiment cases.
 
 The campaign layer turns a figure/ablation specification into a list of
-self-contained :class:`CampaignCase` work units, fans them out across
-worker processes, and persists every finished case as a content-addressed
-JSON artifact so interrupted or repeated campaigns skip completed work.
-Per-case RNG seeds are derived from the case fields alone, so ``jobs=1``,
-``jobs=N`` and cache-warm replays are all bit-identical.
+self-contained :class:`CampaignCase` work units, dispatches them through a
+pluggable :class:`ExecutionBackend` (inline, local process pool, or the
+file-based shard/worker/merge protocol), and persists every finished case
+as a content-addressed JSON artifact so interrupted or repeated campaigns
+skip completed work.  Per-case RNG seeds are derived from the case fields
+alone, so every backend — and a cache-warm replay — is bit-identical.
 """
 
 from repro.campaign.aggregate import (
@@ -13,21 +14,56 @@ from repro.campaign.aggregate import (
     SuiteAggregate,
     SuiteAggregator,
     case_contribution,
+    contribution_from_payload,
+    contribution_to_payload,
+    suite_aggregate_to_payload,
 )
-from repro.campaign.cache import ArtifactCache, CacheStats
+from repro.campaign.backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    get_backend,
+)
+from repro.campaign.cache import ArtifactCache, CacheAudit, CacheStats
 from repro.campaign.runner import Campaign, CampaignStats, parallel_map
+from repro.campaign.shard import (
+    MergeResult,
+    ShardBackend,
+    ShardManifest,
+    ShardPartial,
+    merge_partials,
+    partition_cases,
+    run_shard,
+)
 from repro.campaign.spec import CampaignCase, expand_suite
 
 __all__ = [
     "ArtifactCache",
+    "BACKEND_NAMES",
+    "CacheAudit",
     "CacheStats",
     "Campaign",
     "CampaignCase",
     "CampaignStats",
     "CaseContribution",
+    "ExecutionBackend",
+    "MergeResult",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ShardBackend",
+    "ShardManifest",
+    "ShardPartial",
     "SuiteAggregate",
     "SuiteAggregator",
     "case_contribution",
+    "contribution_from_payload",
+    "contribution_to_payload",
     "expand_suite",
+    "get_backend",
+    "merge_partials",
     "parallel_map",
+    "partition_cases",
+    "run_shard",
+    "suite_aggregate_to_payload",
 ]

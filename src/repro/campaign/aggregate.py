@@ -44,6 +44,9 @@ __all__ = [
     "SuiteAggregate",
     "SuiteAggregator",
     "case_contribution",
+    "contribution_from_payload",
+    "contribution_to_payload",
+    "suite_aggregate_to_payload",
 ]
 
 _N_METRICS = len(METRIC_NAMES)
@@ -133,6 +136,42 @@ def case_contribution(
     )
 
 
+def contribution_to_payload(c: CaseContribution) -> dict:
+    """JSON-compatible dict form of a contribution (the shard wire format).
+
+    Floats round-trip exactly through JSON (shortest-repr encoding; NaN
+    survives via the default ``allow_nan`` tokens), so a contribution that
+    crosses a shard-partial file folds bit-identically to one that never
+    left the process — the property the shard/worker/merge protocol's
+    bit-identity guarantee rests on.
+    """
+    return {
+        "index": c.index,
+        "name": c.name,
+        "pearson": np.asarray(c.pearson, dtype=float).tolist(),
+        "rel_corr": float(c.rel_corr),
+        "heuristic_rows": [list(row) for row in c.heuristic_rows],
+        "makespan_p50": float(c.makespan_p50),
+        "makespan_p95": float(c.makespan_p95),
+    }
+
+
+def contribution_from_payload(payload: dict) -> CaseContribution:
+    """Inverse of :func:`contribution_to_payload`."""
+    return CaseContribution(
+        index=int(payload["index"]),
+        name=str(payload["name"]),
+        pearson=np.asarray(payload["pearson"], dtype=float),
+        rel_corr=float(payload["rel_corr"]),
+        heuristic_rows=tuple(
+            (str(r[0]), str(r[1]), float(r[2]), float(r[3]), float(r[4]), float(r[5]))
+            for r in payload["heuristic_rows"]
+        ),
+        makespan_p50=float(payload["makespan_p50"]),
+        makespan_p95=float(payload["makespan_p95"]),
+    )
+
+
 @dataclass(frozen=True)
 class SuiteAggregate:
     """The finalized suite reduction (what Figure 6 renders).
@@ -149,6 +188,26 @@ class SuiteAggregate:
     rel_std: float
     heuristic_rows: tuple[tuple[str, str, float, float, float, float], ...]
     case_rows: tuple[tuple[str, float, float], ...] = ()
+
+
+def suite_aggregate_to_payload(agg: SuiteAggregate) -> dict:
+    """Canonical JSON-compatible dump of a finalized aggregate.
+
+    The comparison format for cross-backend bit-identity checks (CI runs
+    a two-shard fig6 sweep and byte-compares this payload against the
+    single-process run's) and the ``--json`` output of the CLI ``merge``
+    and ``aggregate`` commands.
+    """
+    return {
+        "format": "repro-suite-aggregate-v1",
+        "n_cases": int(agg.n_cases),
+        "mean": np.asarray(agg.mean, dtype=float).tolist(),
+        "std": np.asarray(agg.std, dtype=float).tolist(),
+        "rel_mean": float(agg.rel_mean),
+        "rel_std": float(agg.rel_std),
+        "heuristic_rows": [list(row) for row in agg.heuristic_rows],
+        "case_rows": [list(row) for row in agg.case_rows],
+    }
 
 
 class SuiteAggregator:
@@ -177,6 +236,7 @@ class SuiteAggregator:
         self._pending: dict[int, CaseContribution] = {}
         self._next = 0
         self._n_cases = 0
+        self._indices: set[int] = set()
 
     # ------------------------------------------------------------------ #
     # feeding
@@ -201,24 +261,39 @@ class SuiteAggregator:
     def _fold(self, c: CaseContribution) -> None:
         if c.pearson.shape != (_N_METRICS, _N_METRICS):
             raise ValueError(f"expected an 8×8 Pearson matrix, got {c.pearson.shape}")
+        if c.index in self._indices:
+            raise ValueError(f"duplicate case index {c.index} ({c.name})")
         self.matrix.add(c.pearson)
         self.rel.add(c.rel_corr)
         self._rows.extend(c.heuristic_rows)
         self._case_rows.append((c.name, c.makespan_p50, c.makespan_p95))
+        self._indices.add(c.index)
         self._n_cases += 1
 
     def merge(self, other: "SuiteAggregator") -> None:
         """Fold a partial aggregate in (Chan-merge of the accumulators).
 
         Both aggregators must be fully drained (no reorder-buffered
-        contributions); heuristic rows are concatenated in merge order.
+        contributions) and must cover **disjoint** case sets — shards that
+        accidentally overlap (the same case key dispatched twice) raise a
+        :class:`ValueError` naming the duplicated indices instead of
+        silently double-counting.  Heuristic rows are concatenated in
+        merge order.  Merging an empty aggregator (in either direction) is
+        a no-op on the statistics.
         """
         if self._pending or other._pending:
             raise ValueError("cannot merge aggregators with undrained contributions")
+        overlap = self._indices & other._indices
+        if overlap:
+            raise ValueError(
+                "cannot merge partial aggregates with overlapping cases: "
+                f"duplicate case indices {sorted(overlap)}"
+            )
         self.matrix.merge(other.matrix)
         self.rel.merge(other.rel)
         self._rows.extend(other._rows)
         self._case_rows.extend(other._case_rows)
+        self._indices |= other._indices
         self._n_cases += other._n_cases
 
     # ------------------------------------------------------------------ #

@@ -18,26 +18,26 @@ sees complete artifacts).
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import pathlib
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.campaign.spec import CampaignCase
 from repro.core.study import CaseResult
-from repro.io.json_io import case_result_from_payload, case_result_to_payload
+from repro.io.json_io import (
+    case_result_from_payload,
+    case_result_to_payload,
+    payload_digest,
+)
 
-__all__ = ["ArtifactCache", "CacheStats"]
+__all__ = ["ArtifactCache", "CacheAudit", "CacheStats"]
 
 _ENVELOPE_FORMAT = "repro-campaign-v1"
 
-
-def _result_digest(result_payload: object) -> str:
-    """SHA-256 of the canonical (sorted-keys) dump of a result payload."""
-    canonical = json.dumps(result_payload, sort_keys=True)
-    return hashlib.sha256(canonical.encode()).hexdigest()
+# The result digest is the repo-wide canonical payload digest.
+_result_digest = payload_digest
 
 
 def _parse_envelope(text: str) -> tuple[CampaignCase, CaseResult]:
@@ -68,6 +68,40 @@ class CacheStats:
     misses: int = 0
     corrupt: int = 0
     stores: int = 0
+
+
+@dataclass
+class CacheAudit:
+    """What :meth:`ArtifactCache.verify` found in a cache directory.
+
+    * ``valid`` — artifacts that parse, match their recorded case key and
+      pass the result digest check;
+    * ``corrupt`` — ``(path, reason)`` pairs for anything that fails the
+      envelope validation (truncated writes, bit rot, foreign JSON);
+    * ``orphans`` — ``(path, reason)`` pairs for *valid* artifacts that no
+      case references: misnamed files a lookup would never find, or (when
+      an expected suite is given) artifacts of some other suite/scale/seed;
+    * ``stale_temp`` — leftover ``.tmp.<pid>`` files from killed writers
+      (harmless, never loaded, safe to delete).
+    """
+
+    valid: list[pathlib.Path] = field(default_factory=list)
+    corrupt: list[tuple[pathlib.Path, str]] = field(default_factory=list)
+    orphans: list[tuple[pathlib.Path, str]] = field(default_factory=list)
+    stale_temp: list[pathlib.Path] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing corrupt was found."""
+        return not self.corrupt
+
+    def summary(self) -> str:
+        """One-line human summary for logs and the CLI."""
+        return (
+            f"{len(self.valid)} valid, {len(self.corrupt)} corrupt, "
+            f"{len(self.orphans)} orphan, {len(self.stale_temp)} stale temp "
+            "files"
+        )
 
 
 @dataclass
@@ -154,13 +188,62 @@ class ArtifactCache:
             yield index, case, result
             index += 1
 
-    def store(self, case: CampaignCase, result: CaseResult) -> pathlib.Path:
-        """Persist ``result`` atomically; returns the artifact path."""
-        return self._store(case, case_result_to_payload(result))
+    # ------------------------------------------------------------------ #
+    # auditing
+    # ------------------------------------------------------------------ #
 
-    def store_payload(self, case: CampaignCase, result_json: str) -> pathlib.Path:
-        """Persist an already-serialized result (the worker wire format)."""
-        return self._store(case, json.loads(result_json))
+    def verify(
+        self, expected: Sequence[CampaignCase] | None = None
+    ) -> CacheAudit:
+        """Scan the cache directory and classify every file.
+
+        Reuses the same envelope validation as :meth:`load` (format, case
+        key, result digest), so anything a campaign would silently
+        recompute is reported here as corrupt.  With ``expected`` given,
+        valid artifacts whose case key is not in the suite are reported as
+        orphans — e.g. leftovers of an older scale/seed sharing the
+        directory.  Valid artifacts stored under a name
+        :meth:`load` would never look up are orphans too.
+        """
+        audit = CacheAudit()
+        try:
+            paths = sorted(self.root.iterdir())
+        except OSError:
+            return audit
+        expected_keys = (
+            {case.key for case in expected} if expected is not None else None
+        )
+        for path in paths:
+            if ".tmp." in path.name:
+                audit.stale_temp.append(path)
+                continue
+            if path.suffix != ".json":
+                continue
+            try:
+                case, _ = _parse_envelope(path.read_text())
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                audit.corrupt.append((path, str(exc)))
+                continue
+            if path.name != case.artifact_name:
+                audit.orphans.append(
+                    (path, f"misnamed: lookups expect {case.artifact_name}")
+                )
+            elif expected_keys is not None and case.key not in expected_keys:
+                audit.orphans.append((path, "not part of the expected suite"))
+            else:
+                audit.valid.append(path)
+        return audit
+
+    def store(self, case: CampaignCase, result: CaseResult) -> pathlib.Path:
+        """Persist ``result`` atomically; returns the artifact path.
+
+        Serialization is canonical (shortest-repr floats over a fixed
+        payload layout), so storing a result that crossed a worker wire
+        as JSON writes the same bytes as storing it in the computing
+        process — which is what makes artifacts byte-identical across
+        execution backends.
+        """
+        return self._store(case, case_result_to_payload(result))
 
     def _store(self, case: CampaignCase, result_payload: dict) -> pathlib.Path:
         envelope = {

@@ -1,30 +1,39 @@
-"""The campaign execution engine: fan-out, caching, deterministic replay.
+"""The campaign execution engine: cache policy + backend dispatch.
 
 A :class:`Campaign` is a list of independent :class:`CampaignCase` work
-units plus an execution policy (worker count, artifact cache, force
-recompute).  Because every case derives its RNG stream from its *own*
-fields (not from execution order), results are bit-identical across
+units plus an execution policy: an artifact cache (skip completed cases,
+persist finished ones) and an :class:`ExecutionBackend` deciding *where*
+the pending cases run — inline, across a local process pool, or through
+the file-based shard/worker/merge protocol.  Because every case derives
+its RNG stream from its *own* fields (not from execution order), results
+are bit-identical across
 
-* ``jobs=1`` (inline, no pool),
-* ``jobs=N`` (``ProcessPoolExecutor`` fan-out, any completion order), and
+* ``SerialBackend`` (inline, no pool),
+* ``ProcessPoolBackend`` (``ProcessPoolExecutor`` fan-out, any completion
+  order),
+* ``ShardBackend`` (subprocess shard workers + merge), and
 * a cache-warm re-run (artifacts only, nothing recomputed),
 
-which the determinism test suite asserts panel-for-panel.  Workers ship
-results back as the same canonical JSON that lands in the artifact cache,
-so the parent persists each case the moment it finishes — an interrupted
-campaign re-run with ``--resume`` skips every completed case.
+which the determinism test suite asserts panel-for-panel.  Every computed
+case is persisted to the cache the moment it is yielded, so an
+interrupted campaign re-run with ``--resume`` skips every completed case
+regardless of backend.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
+from repro.campaign.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+)
 from repro.campaign.cache import ArtifactCache
 from repro.campaign.spec import CampaignCase
 from repro.core.study import CaseResult
-from repro.io.json_io import case_result_from_json, case_result_to_json
 
 __all__ = ["Campaign", "CampaignStats", "parallel_map"]
 
@@ -32,32 +41,36 @@ _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 
-def _run_case_payload(case_dict: dict[str, Any]) -> str:
-    """Worker entry point: evaluate one case, return its canonical JSON.
-
-    Takes/returns plain JSON-compatible values so the pool pickles only
-    small payloads, and so the bytes the parent caches are exactly the
-    bytes the worker produced.
-    """
-    case = CampaignCase.from_dict(case_dict)
-    return case_result_to_json(case.run())
-
-
 @dataclass
 class CampaignStats:
-    """What one :meth:`Campaign.run` actually did."""
+    """What one :meth:`Campaign.run` actually did, and where it ran."""
 
     total: int = 0
     computed: int = 0
     cached: int = 0
     corrupt_recovered: int = 0
+    backend: str = ""
+    workers: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def summary(self) -> str:
-        """One-line human summary for logs and reports."""
+        """One-line human summary for logs and reports.
+
+        Includes the execution backend, its worker count and the cache
+        hit/miss counts, so a report always says *where* its cases ran
+        and how much the artifact cache saved.
+        """
         parts = [f"{self.total} cases", f"{self.computed} computed", f"{self.cached} cached"]
         if self.corrupt_recovered:
             parts.append(f"{self.corrupt_recovered} corrupt artifacts recomputed")
-        return ", ".join(parts)
+        line = ", ".join(parts)
+        if self.backend:
+            line += (
+                f" [backend={self.backend}, workers={self.workers}, "
+                f"cache {self.cache_hits} hits / {self.cache_misses} misses]"
+            )
+        return line
 
 
 @dataclass
@@ -69,27 +82,40 @@ class Campaign:
     cases:
         The work units, in result order.
     jobs:
-        Worker processes; ``1`` runs inline (no pool).
+        Worker count for the *default* backend policy: ``1`` resolves to
+        :class:`SerialBackend`, ``N > 1`` to ``ProcessPoolBackend(N)`` —
+        the historical behaviour, kept so every existing ``jobs=`` call
+        site works unchanged.  Ignored when ``backend`` is given.
     cache:
         Optional artifact cache; finished cases are persisted there and
         re-used on later runs (corrupt artifacts are recomputed).
     force:
         Recompute every case even when a valid artifact exists (the
         artifact is overwritten with the fresh result).
+    backend:
+        Explicit :class:`~repro.campaign.backend.ExecutionBackend`; where
+        the pending (non-cached) cases execute.
     """
 
     cases: Sequence[CampaignCase]
     jobs: int = 1
     cache: ArtifactCache | None = None
     force: bool = False
+    backend: ExecutionBackend | None = None
     stats: CampaignStats = field(default_factory=CampaignStats)
+
+    def _resolve_backend(self) -> ExecutionBackend:
+        """The explicit backend, or the historical ``jobs``-based policy."""
+        if self.backend is not None:
+            return self.backend
+        return SerialBackend() if self.jobs <= 1 else ProcessPoolBackend(self.jobs)
 
     def run(self) -> list[CaseResult]:
         """Execute all cases; returns results in case order.
 
         Cached cases are loaded (never recomputed) unless ``force``;
-        pending cases run inline or across the process pool.  Each result
-        is persisted to the cache as soon as it is available.
+        pending cases run on the resolved backend.  Each result is
+        persisted to the cache as soon as it is available.
         """
         results = {i: result for i, _, result in self.iter_results()}
         return [results[i] for i in range(len(self.cases))]
@@ -101,15 +127,34 @@ class Campaign:
         over results (the Figure 6 aggregation, any
         :class:`~repro.campaign.aggregate.SuiteAggregator`) never hold more
         than one :class:`CaseResult` at a time.  Cached cases are yielded
-        first, in case order; computed cases follow in case order when
-        running inline, or in completion order across the pool (consumers
-        needing a canonical fold order should reorder by ``index`` — the
-        aggregate layer does).  Each computed result is persisted to the
-        cache *before* it is yielded, so an interrupted consumer leaves a
-        resumable cache behind.
+        first, in case order; computed cases follow in the backend's
+        completion order (consumers needing a canonical fold order should
+        reorder by ``index`` — the aggregate layer does).  Each computed
+        result is persisted to the cache *before* it is yielded, so an
+        interrupted consumer leaves a resumable cache behind.
         """
-        self.stats = CampaignStats(total=len(self.cases))
-        pending: list[int] = []
+        backend = self._resolve_backend()
+        self.stats = CampaignStats(
+            total=len(self.cases), backend=backend.name, workers=backend.workers
+        )
+        configure = getattr(backend, "configure", None)
+        if configure is not None:
+            configure(cache=self.cache, force=self.force)
+
+        # The campaign's hit/miss counters are deltas of the attached
+        # cache's own CacheStats over this run, so they stay truthful for
+        # every policy: force=True does no lookups (0/0), and backends
+        # that load/store cache-side (shard workers) credit their counts
+        # through the same CacheStats object.
+        hits_before = self.cache.stats.hits if self.cache is not None else 0
+        misses_before = self.cache.stats.misses if self.cache is not None else 0
+
+        def sync_cache_counters() -> None:
+            if self.cache is not None:
+                self.stats.cache_hits = self.cache.stats.hits - hits_before
+                self.stats.cache_misses = self.cache.stats.misses - misses_before
+
+        pending: list[tuple[int, CampaignCase]] = []
         for i, case in enumerate(self.cases):
             cached = None
             if self.cache is not None and not self.force:
@@ -119,67 +164,65 @@ class Campaign:
                     self.stats.corrupt_recovered += 1
             if cached is not None:
                 self.stats.cached += 1
+                sync_cache_counters()
                 yield i, case, cached
             else:
-                pending.append(i)
+                sync_cache_counters()
+                pending.append((i, case))
 
         if not pending:
             return
-        if self.jobs <= 1 or len(pending) <= 1:
-            for i in pending:
-                result = self.cases[i].run()
-                if self.cache is not None:
-                    self.cache.store(self.cases[i], result)
-                self.stats.computed += 1
-                yield i, self.cases[i], result
-            return
-
-        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+        backend.submit(pending)
+        # Backends that write artifacts straight into the attached cache
+        # (the shard workers do) declare it, so the byte-identical
+        # re-store is skipped instead of rewriting every file.
+        store = self.cache is not None and not getattr(
+            backend, "persists_results", False
+        )
+        completed = backend.as_completed()
+        reclassified = 0
         try:
-            futures = {
-                pool.submit(_run_case_payload, self.cases[i].to_dict()): i
-                for i in pending
-            }
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                failure: BaseException | None = None
-                for fut in done:
-                    i = futures[fut]
-                    error = fut.exception()
-                    if error is not None:
-                        # Persist the batch's successes before failing,
-                        # so a --resume re-run does not redo them.
-                        failure = failure or error
-                        continue
-                    payload = fut.result()
-                    if self.cache is not None:
-                        self.cache.store_payload(self.cases[i], payload)
-                    self.stats.computed += 1
-                    yield i, self.cases[i], case_result_from_json(payload)
-                if failure is not None:
-                    raise failure
-        except BaseException:
-            # On Ctrl-C, a worker failure, or an abandoned consumer
-            # (GeneratorExit) drop the queued cases instead of draining
-            # them — everything already persisted stays persisted, and a
-            # --resume re-run picks up from there.
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
-        pool.shutdown()
+            for i, case, result in completed:
+                if store:
+                    self.cache.store(case, result)
+                self.stats.computed += 1
+                # A backend may serve part of its batch from a cache of
+                # its own (shard workers against a persistent work dir);
+                # reclassify those results from "computed" to "cached".
+                shift = min(
+                    getattr(backend, "worker_cached", 0) - reclassified,
+                    self.stats.computed,
+                )
+                if shift > 0:
+                    self.stats.computed -= shift
+                    self.stats.cached += shift
+                    reclassified += shift
+                sync_cache_counters()
+                yield i, case, result
+        finally:
+            # An abandoned consumer (GeneratorExit) must reach the backend
+            # so it can cancel queued work; everything already persisted
+            # stays persisted and a --resume re-run picks up from there.
+            close = getattr(completed, "close", None)
+            if close is not None:
+                close()
 
 
 def parallel_map(
     fn: Callable[[_T], _R], items: Iterable[_T], jobs: int = 1
 ) -> list[_R]:
-    """Order-preserving map, inline or across a process pool.
+    """Deprecated order-preserving map, inline or across a process pool.
 
-    The generic fan-out primitive for experiment stages that are not
-    :class:`CampaignCase`-shaped (e.g. the Figure 9 quadrant samplings).
-    ``fn`` must be picklable (module top-level) when ``jobs > 1``.
+    .. deprecated::
+        Use :meth:`repro.campaign.backend.ProcessPoolBackend.map` (or any
+        :class:`~repro.campaign.backend.ExecutionBackend`'s ``map``) —
+        this shim forwards there so there is a single pool-dispatch code
+        path, and will be removed once no caller remains.
     """
-    items = list(items)
-    if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+    warnings.warn(
+        "parallel_map() is deprecated; use "
+        "repro.campaign.backend.ProcessPoolBackend(jobs).map(fn, items)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return ProcessPoolBackend(max(jobs, 1)).map(fn, items)

@@ -1,0 +1,580 @@
+"""The file-based shard/worker/merge protocol for multi-machine sweeps.
+
+A paper-scale campaign is thousands of independent cases; this module
+splits one into ``N`` self-contained **shard files** that can be executed
+on different machines (or just different processes) against a shared or
+per-machine artifact cache, and folds the per-shard partial aggregates
+back into the exact suite aggregate a single-process run produces:
+
+1. **shard** — :func:`partition_cases` assigns every case to a shard by
+   its artifact hash (:meth:`CampaignCase.shard`): a pure function of the
+   case fields, so every worker and the merge step agree on the partition
+   without coordination.  Each :class:`ShardManifest` is a plain JSON file
+   embedding its cases as ``CampaignCase.to_dict()`` payloads — the same
+   wire format the process pool ships to workers.
+2. **worker** — :func:`run_shard` executes one manifest against a cache
+   directory (any :mod:`repro.campaign.backend` backend inside), reduces
+   every finished case to its :class:`CaseContribution`, and emits a
+   :class:`ShardPartial` file.
+3. **merge** — :func:`merge_partials` validates that the partials belong
+   to the same suite and cover **disjoint** case sets (duplicate case
+   keys across shards are a loud error, not silent double-counting), then
+   folds all contributions **in suite-index order** through one
+   :class:`SuiteAggregator`.
+
+Why partials carry contributions, not accumulator state
+-------------------------------------------------------
+A Chan-style merge of per-shard moment accumulators is deterministic but
+is a *different floating-point summation order* than the single-process
+fold — equal only to ~1e-12.  The repo's campaign guarantee is stronger:
+bit-identity across every execution mode.  Contributions are O(1)-sized
+(an 8×8 matrix plus a few scalars), they round-trip JSON exactly, and
+re-folding them in suite order reproduces the single-process fold
+*operation for operation* — so ``shard → worker × N → merge`` is
+bit-identical to ``Campaign.run()`` on one machine, which CI asserts.
+(:meth:`SuiteAggregator.merge` remains available for explicitly
+partitioned approximate aggregations.)
+
+:class:`ShardBackend` wraps the whole protocol behind the
+:class:`~repro.campaign.backend.ExecutionBackend` interface, running the
+shard workers as local subprocesses — the single-machine rehearsal of the
+multi-machine deployment.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+from repro.campaign.aggregate import (
+    CaseContribution,
+    SuiteAggregate,
+    SuiteAggregator,
+    case_contribution,
+    contribution_from_payload,
+    contribution_to_payload,
+)
+from repro.campaign.backend import ProcessPoolBackend, _drain_pool
+from repro.campaign.cache import ArtifactCache
+from repro.campaign.spec import CampaignCase
+from repro.core.metrics import METRIC_NAMES
+from repro.core.study import CaseResult
+from repro.io.json_io import canonical_json, payload_digest
+from repro.util.tables import format_matrix, format_table
+
+__all__ = [
+    "MergeResult",
+    "ShardBackend",
+    "ShardManifest",
+    "ShardPartial",
+    "merge_partials",
+    "partition_cases",
+    "run_shard",
+    "suite_key",
+]
+
+_MANIFEST_FORMAT = "repro-shard-manifest-v1"
+_PARTIAL_FORMAT = "repro-shard-partial-v1"
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def suite_key(indexed_cases: Sequence[tuple[int, CampaignCase]]) -> str:
+    """Content hash identifying a suite partition.
+
+    Digest over the ``(suite_index, case_key)`` pairs, so shards of
+    different suites — or of the same suite at a different scale/seed —
+    can never be merged together silently.
+    """
+    return payload_digest([[index, case.key] for index, case in indexed_cases])
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """One shard's work list: a self-contained JSON-serializable unit.
+
+    ``cases`` holds ``(suite_index, case)`` pairs — the suite index is the
+    canonical fold position that makes the merged aggregate independent of
+    how the suite was partitioned.
+    """
+
+    shard_index: int
+    n_shards: int
+    suite_key: str
+    suite_size: int
+    cases: tuple[tuple[int, CampaignCase], ...]
+
+    @property
+    def filename(self) -> str:
+        """Canonical manifest file name."""
+        return f"shard-{self.shard_index:03d}-of-{self.n_shards:03d}.json"
+
+    @property
+    def partial_filename(self) -> str:
+        """Canonical name of the partial this shard's worker emits."""
+        return f"partial-{self.shard_index:03d}-of-{self.n_shards:03d}.json"
+
+    def to_payload(self) -> dict:
+        """JSON-compatible dict (inverse of :meth:`from_payload`)."""
+        return {
+            "format": _MANIFEST_FORMAT,
+            "shard_index": self.shard_index,
+            "n_shards": self.n_shards,
+            "suite_key": self.suite_key,
+            "suite_size": self.suite_size,
+            "cases": [
+                {"index": index, "case": case.to_dict()}
+                for index, case in self.cases
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardManifest":
+        """Rebuild a manifest, validating the format marker."""
+        if payload.get("format") != _MANIFEST_FORMAT:
+            raise ValueError("not a shard manifest")
+        return cls(
+            shard_index=int(payload["shard_index"]),
+            n_shards=int(payload["n_shards"]),
+            suite_key=str(payload["suite_key"]),
+            suite_size=int(payload["suite_size"]),
+            cases=tuple(
+                (int(entry["index"]), CampaignCase.from_dict(entry["case"]))
+                for entry in payload["cases"]
+            ),
+        )
+
+    def write(self, directory: pathlib.Path | str) -> pathlib.Path:
+        """Write this manifest under its canonical name; returns the path."""
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / self.filename
+        path.write_text(canonical_json(self.to_payload()))
+        return path
+
+    @classmethod
+    def read(cls, path: pathlib.Path | str) -> "ShardManifest":
+        """Load a manifest file."""
+        return cls.from_payload(json.loads(pathlib.Path(path).read_text()))
+
+
+def partition_cases(
+    indexed_cases: Sequence[tuple[int, CampaignCase]], n_shards: int
+) -> list[ShardManifest]:
+    """Partition a suite into ``n_shards`` manifests by artifact hash.
+
+    Deterministic and coordination-free: case *i* lands on shard
+    ``case.shard(n_shards)`` regardless of suite order or which machine
+    computes the partition.  Every shard manifest is produced even when
+    empty, so ``shard k of n`` always exists and the merge step can tell a
+    deliberately empty shard from a missing one.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    key = suite_key(indexed_cases)
+    buckets: list[list[tuple[int, CampaignCase]]] = [[] for _ in range(n_shards)]
+    for index, case in indexed_cases:
+        buckets[case.shard(n_shards)].append((index, case))
+    return [
+        ShardManifest(
+            shard_index=k,
+            n_shards=n_shards,
+            suite_key=key,
+            suite_size=len(indexed_cases),
+            cases=tuple(sorted(bucket)),
+        )
+        for k, bucket in enumerate(buckets)
+    ]
+
+
+@dataclass(frozen=True)
+class ShardPartial:
+    """One worker's output: per-case contributions plus execution counts.
+
+    The serialized partial aggregate of a shard — everything the merge
+    step needs, with the raw panels long dropped.  ``case_keys`` (aligned
+    with ``contributions``) lets the merge detect overlapping shards by
+    content, not just by index.
+    """
+
+    shard_index: int
+    n_shards: int
+    suite_key: str
+    suite_size: int
+    contributions: tuple[CaseContribution, ...]
+    case_keys: tuple[str, ...]
+    computed: int = 0
+    cached: int = 0
+
+    @property
+    def filename(self) -> str:
+        """Canonical partial file name."""
+        return f"partial-{self.shard_index:03d}-of-{self.n_shards:03d}.json"
+
+    def to_payload(self) -> dict:
+        """JSON-compatible dict (inverse of :meth:`from_payload`)."""
+        return {
+            "format": _PARTIAL_FORMAT,
+            "shard_index": self.shard_index,
+            "n_shards": self.n_shards,
+            "suite_key": self.suite_key,
+            "suite_size": self.suite_size,
+            "contributions": [
+                contribution_to_payload(c) for c in self.contributions
+            ],
+            "case_keys": list(self.case_keys),
+            "computed": self.computed,
+            "cached": self.cached,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardPartial":
+        """Rebuild a partial, validating the format marker."""
+        if payload.get("format") != _PARTIAL_FORMAT:
+            raise ValueError("not a shard partial")
+        return cls(
+            shard_index=int(payload["shard_index"]),
+            n_shards=int(payload["n_shards"]),
+            suite_key=str(payload["suite_key"]),
+            suite_size=int(payload["suite_size"]),
+            contributions=tuple(
+                contribution_from_payload(c) for c in payload["contributions"]
+            ),
+            case_keys=tuple(str(k) for k in payload["case_keys"]),
+            computed=int(payload.get("computed", 0)),
+            cached=int(payload.get("cached", 0)),
+        )
+
+    def write(self, directory: pathlib.Path | str) -> pathlib.Path:
+        """Write this partial under its canonical name; returns the path."""
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / self.filename
+        path.write_text(canonical_json(self.to_payload()))
+        return path
+
+    @classmethod
+    def read(cls, path: pathlib.Path | str) -> "ShardPartial":
+        """Load a partial file."""
+        return cls.from_payload(json.loads(pathlib.Path(path).read_text()))
+
+
+def run_shard(
+    manifest: ShardManifest,
+    cache: ArtifactCache | pathlib.Path | str,
+    jobs: int = 1,
+    force: bool = False,
+) -> ShardPartial:
+    """Execute one shard against a cache directory (the worker step).
+
+    Runs the shard's cases through a regular :class:`Campaign` (serial, or
+    a local process pool with ``jobs > 1``) with artifacts persisted to
+    ``cache`` — so an interrupted worker resumes exactly like an
+    interrupted campaign — and reduces each finished case to its
+    suite-indexed :class:`CaseContribution`.
+    """
+    from repro.campaign.runner import Campaign  # runner builds on backend
+
+    if not isinstance(cache, ArtifactCache):
+        cache = ArtifactCache(pathlib.Path(cache))
+    indices = [index for index, _ in manifest.cases]
+    cases = [case for _, case in manifest.cases]
+    campaign = Campaign(
+        cases,
+        jobs=jobs,
+        cache=cache,
+        force=force,
+    )
+    contributions: dict[int, CaseContribution] = {}
+    for local_index, case, result in campaign.iter_results():
+        suite_index = indices[local_index]
+        contributions[suite_index] = case_contribution(suite_index, case, result)
+    return ShardPartial(
+        shard_index=manifest.shard_index,
+        n_shards=manifest.n_shards,
+        suite_key=manifest.suite_key,
+        suite_size=manifest.suite_size,
+        contributions=tuple(
+            contributions[i] for i in sorted(contributions)
+        ),
+        case_keys=tuple(
+            case.key for _, case in sorted(manifest.cases)
+        ),
+        computed=campaign.stats.computed,
+        cached=campaign.stats.cached,
+    )
+
+
+def _run_shard_worker(
+    manifest_path: str, cache_dir: str, jobs: int, force: bool
+) -> str:
+    """Subprocess entry point: run one shard file, write its partial.
+
+    Module top-level (picklable) so :class:`ShardBackend` can dispatch it
+    across a process pool; the CLI ``campaign worker`` command is the same
+    code path invoked from a shell.  Returns the partial's path.
+    """
+    manifest = ShardManifest.read(manifest_path)
+    partial = run_shard(manifest, cache_dir, jobs=jobs, force=force)
+    return str(partial.write(pathlib.Path(manifest_path).parent))
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """The merged suite aggregate plus shard bookkeeping."""
+
+    aggregate: SuiteAggregate
+    suite_size: int
+    n_shards: int
+    shards_present: tuple[int, ...]
+    computed: int
+    cached: int
+
+    def render(self) -> str:
+        """Fig. 6-style report of the merged aggregate."""
+        agg = self.aggregate
+        suffix = "" if agg.n_cases == self.suite_size else (
+            f" (partial: {agg.n_cases}/{self.suite_size} cases)"
+        )
+        lines = [
+            f"Merged aggregate — {agg.n_cases} cases from "
+            f"{len(self.shards_present)}/{self.n_shards} shards "
+            f"(upper: mean, lower: std. dev.){suffix}",
+            format_matrix(agg.mean, list(METRIC_NAMES), lower=agg.std),
+            "",
+            "§VII derived metric: corr( R(γ)/E(M), σ_M ) = "
+            f"{agg.rel_mean:+.3f} ± {agg.rel_std:.3f} "
+            "(paper: 0.998 ± 0.009)",
+        ]
+        if agg.case_rows:
+            rows = [
+                (name, f"{p50:.1f}", f"{p95:.1f}")
+                for name, p50, p95 in agg.case_rows
+            ]
+            lines += [
+                "",
+                "Per-case percentile column (P²-streamed over the random "
+                "population):",
+                format_table(["case", "p50(M)", "p95(M)"], rows),
+            ]
+        return "\n".join(lines)
+
+
+def merge_partials(partials: Sequence[ShardPartial]) -> MergeResult:
+    """Fold per-shard partials into the single-process suite aggregate.
+
+    Validates that every partial belongs to the same suite partition
+    (``suite_key``/``n_shards``/``suite_size``), that no shard appears
+    twice, and that the shards' case sets are disjoint — a duplicate case
+    key across shards raises a :class:`ValueError` naming the case rather
+    than double-counting it.  Contributions are then folded in suite-index
+    order through one :class:`SuiteAggregator`, which reproduces the
+    single-process fold bit-for-bit (see the module docstring).
+
+    A subset of shards merges fine (the aggregate is exact for the cases
+    covered); :attr:`MergeResult.shards_present` reports the coverage.
+    """
+    if not partials:
+        raise ValueError("no shard partials to merge")
+    head = partials[0]
+    seen_shards: set[int] = set()
+    key_owner: dict[str, int] = {}
+    for p in partials:
+        if (p.suite_key, p.n_shards, p.suite_size) != (
+            head.suite_key,
+            head.n_shards,
+            head.suite_size,
+        ):
+            raise ValueError(
+                f"shard partial {p.shard_index} belongs to a different suite "
+                f"(suite_key {p.suite_key[:12]}… != {head.suite_key[:12]}…)"
+            )
+        if p.shard_index in seen_shards:
+            raise ValueError(f"shard {p.shard_index} appears twice")
+        seen_shards.add(p.shard_index)
+        if len(p.case_keys) != len(p.contributions):
+            raise ValueError(
+                f"shard partial {p.shard_index} is malformed: "
+                f"{len(p.case_keys)} case keys for "
+                f"{len(p.contributions)} contributions"
+            )
+        for case_key, contribution in zip(p.case_keys, p.contributions):
+            if case_key in key_owner:
+                raise ValueError(
+                    f"duplicate case key {case_key[:12]}… "
+                    f"({contribution.name}) in shards "
+                    f"{key_owner[case_key]} and {p.shard_index}"
+                )
+            key_owner[case_key] = p.shard_index
+
+    # Single ordered fold over all contributions — identical operation
+    # sequence to a single-process run (ordered=False folds immediately;
+    # the sort supplies the canonical order, tolerating missing shards).
+    aggregator = SuiteAggregator(ordered=False)
+    contributions = sorted(
+        (c for p in partials for c in p.contributions), key=lambda c: c.index
+    )
+    for contribution in contributions:
+        aggregator.add(contribution)
+    return MergeResult(
+        aggregate=aggregator.finalize(),
+        suite_size=head.suite_size,
+        n_shards=head.n_shards,
+        shards_present=tuple(sorted(seen_shards)),
+        computed=sum(p.computed for p in partials),
+        cached=sum(p.cached for p in partials),
+    )
+
+
+class ShardBackend:
+    """Run the shard/worker/merge protocol locally as a campaign backend.
+
+    Partitions the submitted cases into ``n_shards`` manifest files under
+    a work directory (a temp dir by default), executes up to ``jobs``
+    shard workers concurrently — each one the exact code path of
+    ``repro campaign worker`` — and yields every case result as its
+    shard completes.  With ``jobs > 1`` the workers run as subprocesses;
+    with ``jobs = 1`` the same worker entry point runs inline, one shard
+    at a time (identical files and results, just without process
+    isolation).  Workers persist artifacts into the campaign's cache
+    when one is attached (via :meth:`configure`), or into a work-dir
+    cache otherwise; either way the parent re-loads each result from
+    disk, so what this backend yields is exactly what a remote machine
+    would have shipped back.
+    """
+
+    name = "shard"
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        jobs: int | None = None,
+        work_dir: pathlib.Path | str | None = None,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = int(n_shards)
+        self.jobs = int(jobs) if jobs else self.n_shards
+        self.work_dir = pathlib.Path(work_dir) if work_dir is not None else None
+        self._pending: list[tuple[int, CampaignCase]] = []
+        self._cache: ArtifactCache | None = None
+        self._cache_root: pathlib.Path | None = None
+        self._force = False
+        #: Cases of the current batch the workers served from their cache
+        #: (instead of computing) — :class:`Campaign` reclassifies these
+        #: from "computed" to "cached" in its stats.
+        self.worker_cached = 0
+
+    @property
+    def workers(self) -> int:
+        """Concurrent shard worker processes."""
+        return self.jobs
+
+    @property
+    def persists_results(self) -> bool:
+        """Whether yielded results are already in the campaign's cache.
+
+        True once :meth:`configure` attached one: shard workers store
+        every artifact straight into it, so :class:`Campaign` skips its
+        own (byte-identical) re-store instead of rewriting each file.
+        """
+        return self._cache_root is not None
+
+    def configure(self, cache: ArtifactCache | None, force: bool) -> None:
+        """Adopt the campaign's cache directory and force policy.
+
+        Called by :class:`Campaign` before dispatch so shard workers write
+        artifacts straight into the shared cache (the multi-machine
+        layout) instead of a throwaway work-dir cache.  Worker-side
+        stores and cache hits are credited back to this cache's
+        :class:`~repro.campaign.cache.CacheStats` as each shard finishes,
+        so campaign/CLI reporting stays truthful even though the workers
+        ran in subprocesses.
+        """
+        self._cache = cache
+        self._cache_root = pathlib.Path(cache.root) if cache is not None else None
+        self._force = bool(force)
+
+    def submit(self, cases: Sequence[tuple[int, CampaignCase]]) -> None:
+        """Register pending ``(suite_index, case)`` pairs."""
+        self._pending = list(cases)
+        self.worker_cached = 0
+
+    def as_completed(self) -> Iterator[tuple[int, CampaignCase, CaseResult]]:
+        """Yield each shard's results as its worker finishes."""
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        tmp: tempfile.TemporaryDirectory | None = None
+        if self.work_dir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-shards-")
+            work = pathlib.Path(tmp.name)
+        else:
+            work = self.work_dir
+            work.mkdir(parents=True, exist_ok=True)
+        try:
+            cache_root = self._cache_root or (work / "cache")
+            manifests = [
+                m for m in partition_cases(pending, self.n_shards) if m.cases
+            ]
+            by_path = {str(m.write(work)): m for m in manifests}
+            cache = ArtifactCache(cache_root)
+
+            def credit_worker_stats(partial_path: str) -> None:
+                # Surface what the worker did: its stores and cache hits
+                # would otherwise be invisible to campaign/CLI reporting
+                # (e.g. a persistent work_dir serving a repeat run).
+                partial = ShardPartial.read(partial_path)
+                self.worker_cached += partial.cached
+                if self._cache is not None:
+                    self._cache.stats.stores += partial.computed
+                    self._cache.stats.hits += partial.cached
+
+            def results_of(
+                manifest: ShardManifest,
+            ) -> Iterator[tuple[int, CampaignCase, CaseResult]]:
+                for index, case in manifest.cases:
+                    result = cache.load(case)
+                    if result is None:  # pragma: no cover - worker bug guard
+                        raise RuntimeError(
+                            f"shard {manifest.shard_index} worker finished but "
+                            f"left no artifact for case {case.name}"
+                        )
+                    yield index, case, result
+
+            if self.jobs <= 1 or len(manifests) <= 1:
+                for path, manifest in by_path.items():
+                    credit_worker_stats(
+                        _run_shard_worker(path, str(cache_root), 1, self._force)
+                    )
+                    yield from results_of(manifest)
+                return
+
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(manifests))
+            )
+            futures = {
+                pool.submit(
+                    _run_shard_worker, path, str(cache_root), 1, self._force
+                ): manifest
+                for path, manifest in by_path.items()
+            }
+            drain = _drain_pool(pool, futures)
+            try:
+                for manifest, partial_path in drain:
+                    credit_worker_stats(partial_path)
+                    yield from results_of(manifest)
+            finally:
+                drain.close()
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+
+    def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
+        """Generic map: shards are case-shaped, so delegate to a pool."""
+        return ProcessPoolBackend(self.jobs).map(fn, items)

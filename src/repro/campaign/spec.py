@@ -14,14 +14,13 @@ serial figure runners have always used).
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.core.metrics import DEFAULT_DELTA, DEFAULT_GAMMA, Method
 from repro.experiments.cases import CaseSpec, build_workload
 from repro.experiments.scale import Scale, get_scale
+from repro.io.json_io import payload_digest
 from repro.stochastic.model import StochasticModel
 
 __all__ = ["CampaignCase", "expand_suite"]
@@ -124,12 +123,27 @@ class CampaignCase:
     def key(self) -> str:
         """Content hash of every field — the artifact cache key.
 
-        SHA-256 of the canonical (sorted-keys) JSON dump, so any change to
-        any parameter yields a different artifact and stale cache entries
-        can never be confused for current ones.
+        SHA-256 of the canonical (sorted-keys) JSON dump (the repo-wide
+        :func:`~repro.io.json_io.payload_digest`), so any change to any
+        parameter yields a different artifact and stale cache entries can
+        never be confused for current ones.  The shard partitioner keys
+        its case → shard assignment off this same hash (see
+        :meth:`shard`).
         """
-        canonical = json.dumps(self.to_dict(), sort_keys=True)
-        return hashlib.sha256(canonical.encode()).hexdigest()
+        return payload_digest(self.to_dict())
+
+    def shard(self, n_shards: int) -> int:
+        """Deterministic shard assignment of this case among ``n_shards``.
+
+        Keyed by the artifact hash (:attr:`key`), so the assignment is a
+        pure function of the case fields — independent of suite order,
+        process count, or which machine computes it.  Every worker and
+        the merge step therefore agree on the partition without
+        coordination.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        return int(self.key[:16], 16) % n_shards
 
     @property
     def artifact_name(self) -> str:

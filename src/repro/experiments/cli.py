@@ -56,6 +56,25 @@ It streams the cached artifacts through the same aggregation as ``fig6``
 (bit-identical on a complete cache), skips cases whose artifacts are
 missing (the partial aggregate of an interrupted sweep is exact for the
 completed cases), and never computes anything.
+
+Execution backends
+------------------
+``--backend {serial,process,shard}`` selects where campaign cases run
+(default: serial for ``--jobs 1``, a local process pool otherwise).  The
+``shard`` backend rehearses the multi-machine protocol locally:
+``--shards N`` shard files, each executed by a subprocess worker.
+
+The protocol itself is driven by the ``campaign`` command group — the
+multi-machine path, where each step can run on a different host against a
+shared (or per-host, later-merged) cache directory::
+
+    repro-experiments campaign shard --scale paper --shards 4 --out-dir shards/
+    repro-experiments campaign worker shards/shard-000-of-004.json --cache-dir cache/
+    ... (one worker invocation per shard, anywhere)
+    repro-experiments campaign merge shards/partial-*.json
+
+``campaign verify-cache --cache-dir DIR`` audits a cache directory for
+corrupt, orphaned or half-written artifacts without recomputing anything.
 """
 
 from __future__ import annotations
@@ -67,10 +86,23 @@ import time
 from dataclasses import replace
 from typing import Callable
 
-from repro.campaign import ArtifactCache
+from repro.campaign import (
+    ArtifactCache,
+    BACKEND_NAMES,
+    ShardManifest,
+    ShardPartial,
+    expand_suite,
+    get_backend,
+    merge_partials,
+    partition_cases,
+    run_shard,
+    suite_aggregate_to_payload,
+)
 from repro.experiments import fig1_precision, fig2_visual, fig6_aggregate, fig78_clt
 from repro.experiments import fig345_panels, fig9_slack_quadrants
+from repro.experiments.cases import default_suite
 from repro.experiments.scale import get_scale
+from repro.io.json_io import canonical_json
 
 __all__ = ["main", "DEFAULT_CACHE_DIR"]
 
@@ -79,6 +111,18 @@ DEFAULT_CACHE_DIR = pathlib.Path(".repro-cache")
 
 #: Figures whose cases run through the campaign layer (cache + fan-out).
 _CAMPAIGN_FIGURES = ("fig3", "fig4", "fig5", "fig6")
+
+
+def _write_aggregate_json(path: pathlib.Path, aggregate) -> None:
+    """Dump a suite aggregate as canonical JSON (one trailing newline).
+
+    The single writer behind both ``--json`` sites (figure run and
+    ``campaign merge``): the files are byte-compared by CI and users, so
+    the encoding must never diverge between them.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(canonical_json(suite_aggregate_to_payload(aggregate)) + "\n")
+    print(f"[wrote {path}]")
 
 
 def _runners() -> dict[str, Callable[..., object]]:
@@ -97,6 +141,10 @@ def _runners() -> dict[str, Callable[..., object]]:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:  # pragma: no cover - interactive invocation
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        return _campaign_main(argv[1:])
     runners = _runners()
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -105,7 +153,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "figure",
         choices=[*runners.keys(), "aggregate", "all"],
-        help="figure to reproduce, 'aggregate' (summarize a cache), or 'all'",
+        help="figure to reproduce, 'aggregate' (summarize a cache), or "
+        "'all'; see also the 'campaign' command group "
+        "(shard/worker/merge/verify-cache)",
     )
     parser.add_argument(
         "--scale",
@@ -119,6 +169,28 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         metavar="N",
         help="worker processes for campaign figures (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKEND_NAMES),
+        help="execution backend for campaign figures (default: serial for "
+        "--jobs 1, a process pool otherwise)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard count for --backend shard (default: --jobs, min 2)",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT",
+        help="fig6/aggregate: also dump the suite aggregate as canonical "
+        "JSON (the cross-backend bit-identity comparison format)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -158,7 +230,16 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be ≥ 1")
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be ≥ 1")
+    if args.shards is not None and args.backend != "shard":
+        parser.error("--shards only applies to --backend shard")
     scale = get_scale(args.scale)
+    backend = (
+        get_backend(args.backend, jobs=args.jobs, shards=args.shards)
+        if args.backend is not None
+        else None
+    )
 
     cache_dir = args.cache_dir
     if cache_dir is None and args.resume:
@@ -182,12 +263,17 @@ def main(argv: list[str] | None = None) -> int:
             # Snapshot the shared cache counters so the line printed after
             # this figure shows its own hits/stores, not the running total.
             before = replace(cache.stats) if cache is not None else None
-            kwargs = {"jobs": args.jobs, "cache": cache, "force": args.force}
+            kwargs = {
+                "jobs": args.jobs,
+                "cache": cache,
+                "force": args.force,
+                "backend": backend,
+            }
             if name == "fig6":
                 kwargs["stream"] = args.stream
             result = runners[name](scale, **kwargs)
         elif name == "fig9":
-            result = runners[name](scale, jobs=args.jobs)
+            result = runners[name](scale, jobs=args.jobs, backend=backend)
         else:
             result = runners[name](scale)
         elapsed = time.perf_counter() - t0
@@ -210,6 +296,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         print()
         chunks.append(text + "\n")
+        if args.json is not None and name in ("fig6", "aggregate"):
+            _write_aggregate_json(args.json, result.suite_aggregate())
         if args.csv_dir is not None and hasattr(result, "case"):
             args.csv_dir.mkdir(parents=True, exist_ok=True)
             path = args.csv_dir / f"{name}_panel.csv"
@@ -220,6 +308,151 @@ def main(argv: list[str] | None = None) -> int:
         with args.output.open("a") as fh:
             fh.write("\n".join(chunks))
     return 0
+
+
+# ---------------------------------------------------------------------- #
+# the `campaign` command group: shard / worker / merge / verify-cache
+# ---------------------------------------------------------------------- #
+
+
+def _campaign_main(argv: list[str]) -> int:
+    """The ``campaign`` command group: the shard/worker/merge protocol."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments campaign",
+        description="Shard a campaign across workers/machines and merge "
+        "the partial aggregates (bit-identical to a single-process run).",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_shard = sub.add_parser(
+        "shard", help="partition the fig6 suite into N shard files"
+    )
+    p_shard.add_argument(
+        "--scale", default=None, choices=["quick", "default", "paper"]
+    )
+    p_shard.add_argument("--seed", type=int, default=20070913)
+    p_shard.add_argument("--shards", type=int, default=2, metavar="N")
+    p_shard.add_argument(
+        "--out-dir", type=pathlib.Path, required=True, metavar="DIR"
+    )
+
+    p_worker = sub.add_parser(
+        "worker", help="execute one shard file against a cache directory"
+    )
+    p_worker.add_argument("manifest", type=pathlib.Path)
+    p_worker.add_argument(
+        "--cache-dir", type=pathlib.Path, required=True, metavar="DIR"
+    )
+    p_worker.add_argument("--jobs", type=int, default=1, metavar="N")
+    p_worker.add_argument("--force", action="store_true")
+    p_worker.add_argument(
+        "--partial",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT",
+        help="partial output path (default: alongside the manifest)",
+    )
+
+    p_merge = sub.add_parser(
+        "merge", help="fold shard partials into the suite aggregate"
+    )
+    p_merge.add_argument("partials", type=pathlib.Path, nargs="+")
+    p_merge.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT",
+        help="also dump the merged aggregate as canonical JSON",
+    )
+
+    p_verify = sub.add_parser(
+        "verify-cache",
+        help="audit a cache directory for corrupt/orphan artifacts",
+    )
+    p_verify.add_argument(
+        "--cache-dir", type=pathlib.Path, required=True, metavar="DIR"
+    )
+    p_verify.add_argument(
+        "--scale",
+        default=None,
+        choices=["quick", "default", "paper"],
+        help="also flag valid artifacts outside the fig6 suite at this "
+        "scale/seed as orphans",
+    )
+    p_verify.add_argument("--seed", type=int, default=20070913)
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "shard":
+        if args.shards < 1:
+            parser.error("--shards must be ≥ 1")
+        scale = get_scale(args.scale)
+        cases = expand_suite(default_suite(), scale, base_seed=args.seed)
+        manifests = partition_cases(list(enumerate(cases)), args.shards)
+        for manifest in manifests:
+            path = manifest.write(args.out_dir)
+            print(f"[wrote {path}: {len(manifest.cases)} cases]")
+        print(
+            f"[suite {manifests[0].suite_key[:12]}…: {len(cases)} cases "
+            f"(scale={scale.name}, seed={args.seed}) across "
+            f"{args.shards} shards]"
+        )
+        return 0
+
+    if args.cmd == "worker":
+        try:
+            manifest = ShardManifest.read(args.manifest)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            parser.error(f"cannot read shard manifest {args.manifest}: {exc}")
+        partial = run_shard(
+            manifest, args.cache_dir, jobs=args.jobs, force=args.force
+        )
+        if args.partial is not None:
+            args.partial.parent.mkdir(parents=True, exist_ok=True)
+            args.partial.write_text(canonical_json(partial.to_payload()))
+            path = args.partial
+        else:
+            path = partial.write(args.manifest.parent)
+        print(
+            f"[shard {manifest.shard_index}/{manifest.n_shards}: "
+            f"{len(manifest.cases)} cases, {partial.computed} computed, "
+            f"{partial.cached} cached → {path}]"
+        )
+        return 0
+
+    if args.cmd == "merge":
+        try:
+            partials = [ShardPartial.read(p) for p in args.partials]
+            merged = merge_partials(partials)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            parser.error(str(exc))
+        print(merged.render())
+        print(
+            f"[merged {len(merged.shards_present)}/{merged.n_shards} shards: "
+            f"{merged.aggregate.n_cases}/{merged.suite_size} cases, "
+            f"{merged.computed} computed, {merged.cached} cached]"
+        )
+        if args.json is not None:
+            _write_aggregate_json(args.json, merged.aggregate)
+        return 0
+
+    # verify-cache
+    if not args.cache_dir.is_dir():
+        parser.error(f"cache directory {args.cache_dir} does not exist")
+    cache = ArtifactCache(args.cache_dir)
+    expected = None
+    if args.scale is not None:
+        scale = get_scale(args.scale)
+        expected = expand_suite(default_suite(), scale, base_seed=args.seed)
+    audit = cache.verify(expected)
+    print(f"[{args.cache_dir}: {audit.summary()}]")
+    for path, reason in audit.corrupt:
+        print(f"  corrupt: {path.name} ({reason})")
+    for path, reason in audit.orphans:
+        print(f"  orphan:  {path.name} ({reason})")
+    for path in audit.stale_temp:
+        print(f"  stale:   {path.name}")
+    return 0 if audit.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

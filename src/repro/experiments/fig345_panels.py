@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.campaign import ArtifactCache, Campaign, CampaignCase
+from repro.campaign import ArtifactCache, Campaign, CampaignCase, ExecutionBackend
 from repro.core.correlation import pearson
 from repro.core.study import CaseResult
 from repro.experiments.cases import CaseSpec
@@ -66,12 +66,14 @@ def run_panel(
     jobs: int = 1,
     cache: ArtifactCache | None = None,
     force: bool = False,
+    backend: ExecutionBackend | None = None,
 ) -> PanelResult:
     """Evaluate one panel case at the given scale.
 
-    The case runs through the campaign layer: with ``cache`` set, a
-    previously computed artifact for the same spec/scale/seed is reused
-    instead of recomputing (``force`` overrides).
+    The case runs through the campaign layer on any execution backend:
+    with ``cache`` set, a previously computed artifact for the same
+    spec/scale/seed is reused instead of recomputing (``force``
+    overrides).
     """
     scale = get_scale(scale)
     n_random = scale.n_random(spec.n_tasks)
@@ -81,7 +83,9 @@ def run_panel(
         n_random=n_random,
         grid_n=scale.grid_n,
     )
-    campaign = Campaign((campaign_case,), jobs=jobs, cache=cache, force=force)
+    campaign = Campaign(
+        (campaign_case,), jobs=jobs, cache=cache, force=force, backend=backend
+    )
     case = campaign.run()[0]
     # §VII: R(γ)/E(M) against σ_M over the random schedules only.
     k = n_random

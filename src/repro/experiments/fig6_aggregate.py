@@ -23,7 +23,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.campaign import ArtifactCache, Campaign, SuiteAggregator, expand_suite
+from repro.campaign import (
+    ArtifactCache,
+    Campaign,
+    ExecutionBackend,
+    SuiteAggregate,
+    SuiteAggregator,
+    expand_suite,
+)
 from repro.core.study import CaseResult
 from repro.experiments.cases import CaseSpec, default_suite
 from repro.experiments.scale import Scale, get_scale
@@ -78,6 +85,23 @@ class Fig6Result:
                 self.percentile_summary(),
             ]
         return "\n".join(lines)
+
+    def suite_aggregate(self) -> SuiteAggregate:
+        """This result's statistics as a :class:`SuiteAggregate`.
+
+        The canonical cross-backend comparison form: the CLI's ``--json``
+        output dumps it, and CI byte-compares it between a single-process
+        run and a shard/worker/merge round trip.
+        """
+        return SuiteAggregate(
+            n_cases=self.n_cases,
+            mean=self.mean,
+            std=self.std,
+            rel_mean=self.rel_over_m_vs_std_mean,
+            rel_std=self.rel_over_m_vs_std_std,
+            heuristic_rows=self.heuristic_rows,
+            case_rows=self.case_rows,
+        )
 
     def percentile_summary(self) -> str:
         """Per-case percentile column: streamed p50/p95 random makespan.
@@ -134,14 +158,17 @@ def run(
     force: bool = False,
     stream: bool = False,
     keep_case_results: bool | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> Fig6Result:
     """Run the case suite and aggregate the Pearson matrices.
 
-    The suite is expanded into a campaign: ``jobs`` cases run concurrently
-    in worker processes (results are bit-identical to ``jobs=1`` because
-    each case's RNG stream is derived from its own spec), and with
-    ``cache`` set completed cases are reused across runs.  Results are
-    consumed from the runner's as-completed stream and folded into a
+    The suite is expanded into a campaign and dispatched through any
+    :class:`~repro.campaign.backend.ExecutionBackend` — ``backend=None``
+    keeps the historical policy (``jobs`` worker processes, or inline for
+    ``jobs=1``).  Results are bit-identical across backends because each
+    case's RNG stream is derived from its own spec; with ``cache`` set,
+    completed cases are reused across runs.  Results are consumed from the
+    runner's as-completed stream and folded into a
     :class:`~repro.campaign.aggregate.SuiteAggregator` in case order, so
     the aggregate does not depend on completion order.
 
@@ -158,6 +185,7 @@ def run(
         jobs=jobs,
         cache=cache,
         force=force,
+        backend=backend,
     )
     keep = (not stream) if keep_case_results is None else keep_case_results
     aggregator = SuiteAggregator()

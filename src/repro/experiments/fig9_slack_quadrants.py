@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.analysis.montecarlo import sample_makespans
 from repro.analysis.streaming import P2Quantile
-from repro.campaign import parallel_map
+from repro.campaign import ExecutionBackend, get_backend
 from repro.core.slack import slack_analysis
 from repro.dag.fork_join import join_dag
 from repro.experiments.scale import Scale, get_scale
@@ -176,14 +176,17 @@ def run(
     n_branches: int = 12,
     seed: int = 20070914,
     jobs: int = 1,
+    backend: ExecutionBackend | None = None,
 ) -> Fig9Result:
     """Reproduce the Figure 9 quadrant study.
 
     A large UL (default 1.5) makes the robustness differences stark, as in
     the paper's conceptual figure.  Each quadrant schedule samples from its
     own :func:`~repro.util.rng.spawn_generators` child stream, so the
-    result is identical for any ``jobs`` (the four Monte-Carlo runs can
-    fan out across processes).
+    result is identical for any ``jobs`` or execution backend (the four
+    Monte-Carlo samplings fan out through the backend's generic ``map``;
+    fig9 is not case-shaped, so the artifact-cache machinery does not
+    apply).
     """
     scale = get_scale(scale)
     model = StochasticModel(ul=ul, grid_n=scale.grid_n)
@@ -193,7 +196,7 @@ def run(
         (label, schedule, model, gen, scale.mc_realizations)
         for (label, schedule), gen in zip(schedules.items(), gens)
     ]
-    stats = parallel_map(_quadrant_stats, tasks, jobs=jobs)
+    stats = get_backend(backend, jobs=jobs).map(_quadrant_stats, tasks)
     labels, slacks, stds, means, medians = zip(*stats)
     return Fig9Result(
         labels=tuple(labels),

@@ -9,6 +9,7 @@ integrity check).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -33,9 +34,26 @@ __all__ = [
     "case_result_from_json",
     "case_result_to_payload",
     "case_result_from_payload",
+    "canonical_json",
+    "payload_digest",
 ]
 
 _FORMAT = "repro-v1"
+
+
+def canonical_json(payload: Any) -> str:
+    """The repo-wide canonical JSON dump: sorted keys, default separators.
+
+    Every content hash (case keys, artifact result digests, shard suite
+    keys) is computed over this exact encoding, so two processes — or two
+    machines — agreeing on a payload agree on its digest byte-for-byte.
+    """
+    return json.dumps(payload, sort_keys=True)
+
+
+def payload_digest(payload: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
 
 def taskgraph_to_json(graph: TaskGraph) -> str:

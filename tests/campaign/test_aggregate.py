@@ -162,6 +162,63 @@ class TestSuiteAggregator:
         assert np.allclose(a.std, b.std, rtol=1e-12, atol=1e-12, equal_nan=True)
         assert abs(a.rel_mean - b.rel_mean) < 1e-12
 
+    def test_merge_empty_aggregator_is_a_noop(self):
+        pairs = [_fake_case_and_result(i) for i in range(4)]
+        full = SuiteAggregator()
+        for i, (case, result) in enumerate(pairs):
+            full.add_case(i, case, result)
+        reference = full.finalize()
+
+        # empty folded *into* a populated aggregator...
+        padded = SuiteAggregator()
+        for i, (case, result) in enumerate(pairs):
+            padded.add_case(i, case, result)
+        padded.merge(SuiteAggregator())
+        a = padded.finalize()
+        assert a.n_cases == reference.n_cases
+        assert np.array_equal(a.mean, reference.mean, equal_nan=True)
+        assert np.array_equal(a.std, reference.std, equal_nan=True)
+
+        # ...and a populated aggregator folded into an empty one.
+        empty = SuiteAggregator()
+        empty.merge(full)
+        b = empty.finalize()
+        assert b.n_cases == reference.n_cases
+        assert np.array_equal(b.mean, reference.mean, equal_nan=True)
+        assert b.heuristic_rows == reference.heuristic_rows
+
+    def test_merge_disjoint_shard_case_sets(self):
+        # Interleaved (non-contiguous) shards, the hash-partition shape.
+        pairs = [_fake_case_and_result(i) for i in range(6)]
+        even, odd = SuiteAggregator(ordered=False), SuiteAggregator(ordered=False)
+        for i, (case, result) in enumerate(pairs):
+            (even if i % 2 == 0 else odd).add_case(i, case, result)
+        even.merge(odd)
+        merged = even.finalize()
+        assert merged.n_cases == 6
+        sequential = SuiteAggregator()
+        for i, (case, result) in enumerate(pairs):
+            sequential.add_case(i, case, result)
+        reference = sequential.finalize()
+        assert np.allclose(
+            merged.mean, reference.mean, rtol=1e-12, atol=1e-12, equal_nan=True
+        )
+
+    def test_merge_rejects_overlapping_case_sets(self):
+        case, result = _fake_case_and_result(0)
+        a, b = SuiteAggregator(ordered=False), SuiteAggregator(ordered=False)
+        a.add_case(3, case, result)
+        b.add_case(3, case, result)
+        with pytest.raises(ValueError, match="duplicate case indices"):
+            a.merge(b)
+
+    def test_fold_rejects_duplicate_index_even_unordered(self):
+        case, result = _fake_case_and_result(0)
+        agg = SuiteAggregator(ordered=False)
+        agg.add_case(2, case, result)
+        with pytest.raises(ValueError, match="duplicate case index"):
+            agg.add_case(2, case, result)
+
     def test_merge_with_buffered_contributions_rejected(self):
         case, result = _fake_case_and_result(5)
         holding = SuiteAggregator()

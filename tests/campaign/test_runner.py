@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.campaign import ArtifactCache, Campaign, CampaignCase, parallel_map
-from repro.campaign.runner import _run_case_payload
+from repro.campaign.backend import _run_case_payload
 from repro.experiments.cases import CaseSpec
 from repro.io.json_io import case_result_from_json
 

@@ -141,3 +141,127 @@ class TestAggregateSubcommand:
         streamed = capsys.readouterr().out.splitlines()
         # Same report; only the timing/cache footer lines may differ.
         assert streamed[:-3] == plain[:-3]
+
+
+class TestBackendFlag:
+    def test_backend_serial_matches_default(self, capsys):
+        assert main(["fig3", "--backend", "serial"]) == 0
+        serial = capsys.readouterr().out.splitlines()[0]
+        assert main(["fig3"]) == 0
+        default = capsys.readouterr().out.splitlines()[0]
+        assert serial == default
+
+    def test_shards_requires_shard_backend(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--shards", "2"])
+        with pytest.raises(SystemExit):
+            main(["fig3", "--backend", "shard", "--shards", "0"])
+
+    def test_fig9_accepts_backend(self, capsys):
+        assert main(["fig9", "--backend", "serial"]) == 0
+        assert "Fig. 9" in capsys.readouterr().out
+
+
+class TestCampaignSubcommands:
+    """The shard/worker/merge/verify-cache protocol driven from the CLI."""
+
+    @staticmethod
+    def _mini_suite(monkeypatch):
+        import repro.experiments.cli as cli_mod
+        from repro.experiments import fig6_aggregate
+        from repro.experiments.cases import CaseSpec
+
+        suite = lambda: [
+            CaseSpec("cholesky", 3, 1.01),
+            CaseSpec("random", 10, 1.1),
+        ]
+        monkeypatch.setattr(fig6_aggregate, "default_suite", suite)
+        monkeypatch.setattr(cli_mod, "default_suite", suite)
+
+    def _shard_worker_merge(self, tmp_path, capsys):
+        shards = tmp_path / "shards"
+        cache = tmp_path / "shard-cache"
+        assert main(
+            ["campaign", "shard", "--scale", "quick", "--shards", "2",
+             "--out-dir", str(shards)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 cases" in out and "across 2 shards" in out
+        for k in (0, 1):
+            assert main(
+                ["campaign", "worker", str(shards / f"shard-{k:03d}-of-002.json"),
+                 "--cache-dir", str(cache)]
+            ) == 0
+        capsys.readouterr()
+        merged_json = tmp_path / "merged.json"
+        assert main(
+            ["campaign", "merge",
+             str(shards / "partial-000-of-002.json"),
+             str(shards / "partial-001-of-002.json"),
+             "--json", str(merged_json)]
+        ) == 0
+        return merged_json, capsys.readouterr().out
+
+    def test_shard_worker_merge_round_trip(self, capsys, tmp_path, monkeypatch):
+        self._mini_suite(monkeypatch)
+        merged_json, out = self._shard_worker_merge(tmp_path, capsys)
+        assert "Merged aggregate" in out
+        assert "§VII" in out
+        assert merged_json.exists()
+
+    def test_merge_bit_identical_to_fig6_json(self, capsys, tmp_path, monkeypatch):
+        self._mini_suite(monkeypatch)
+        single_json = tmp_path / "single.json"
+        assert main(
+            ["fig6", "--scale", "quick", "--cache-dir", str(tmp_path / "a"),
+             "--json", str(single_json)]
+        ) == 0
+        capsys.readouterr()
+        merged_json, _ = self._shard_worker_merge(tmp_path, capsys)
+        assert single_json.read_bytes() == merged_json.read_bytes()
+        # The shard workers' artifacts are byte-identical to the
+        # single-process campaign's.
+        files_a = sorted((tmp_path / "a").iterdir())
+        files_b = sorted((tmp_path / "shard-cache").iterdir())
+        assert [p.name for p in files_a] == [p.name for p in files_b]
+        for a, b in zip(files_a, files_b):
+            assert a.read_bytes() == b.read_bytes()
+
+    def test_worker_rejects_bad_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit):
+            main(["campaign", "worker", str(bad), "--cache-dir", str(tmp_path)])
+
+    def test_merge_rejects_foreign_files(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "nope"}')
+        with pytest.raises(SystemExit):
+            main(["campaign", "merge", str(bad)])
+        assert "not a shard partial" in capsys.readouterr().err
+
+    def test_verify_cache_rejects_missing_directory(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["campaign", "verify-cache", "--cache-dir",
+                 str(tmp_path / "no-such-dir")]
+            )
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_verify_cache_clean_and_corrupt(self, capsys, tmp_path, monkeypatch):
+        self._mini_suite(monkeypatch)
+        cache = tmp_path / "cache"
+        assert main(["fig6", "--scale", "quick", "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["campaign", "verify-cache", "--cache-dir", str(cache),
+             "--scale", "quick"]
+        ) == 0
+        assert "2 valid, 0 corrupt" in capsys.readouterr().out
+
+        (cache / "zz-broken.json").write_text("{truncated")
+        assert main(
+            ["campaign", "verify-cache", "--cache-dir", str(cache)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out and "zz-broken.json" in out
