@@ -28,6 +28,10 @@ __all__ = [
     "sample_task_times_reference",
     "slack_levels_reference",
     "replay_inflated_reference",
+    "classical_task_finishes_reference",
+    "classical_makespan_reference",
+    "dodin_makespan_reference",
+    "dodin_reduce_reference",
 ]
 
 
@@ -193,3 +197,108 @@ def replay_inflated_reference(schedule: Schedule, inflation: float) -> float:
             start = max(start, finish[u] + comm)
         finish[v] = start + w.comp[v, pv] * factor
     return float(finish.max())
+
+
+# ---------------------------------------------------------------------- #
+# frozen grid-RV walks (pre-batch-engine oracles)
+# ---------------------------------------------------------------------- #
+
+
+def classical_task_finishes_reference(schedule, model):
+    """The historical per-task per-op classical walk (grid-RV oracle).
+
+    One :class:`~repro.stochastic.rv.NumericRV` operation per edge/join,
+    in CSR topological order — the implementation the batched grid engine
+    replaced.  The batched walk must reproduce every array bit-for-bit.
+    """
+    from repro.stochastic.rv import NumericRV
+
+    w = schedule.workload
+    dis = schedule.disjunctive()
+    proc = schedule.proc
+    edge_comm = schedule.edge_min_comm()
+    ep, src = dis.edge_ptr, dis.edge_src
+    finishes = [None] * w.n_tasks
+    for i, v in enumerate(dis.topo):
+        v = int(v)
+        parts = []
+        for e in range(int(ep[i]), int(ep[i + 1])):
+            fu = finishes[int(src[e])]
+            assert fu is not None, "topological order violated"
+            c = float(edge_comm[e])
+            if c > 0.0:
+                fu = fu.add(model.rv(c))
+            parts.append(fu)
+        if parts:
+            start = NumericRV.max_of(parts)
+        else:
+            start = NumericRV.point(0.0)
+        finishes[v] = start.add(model.rv(w.duration(v, int(proc[v]))))
+    return finishes
+
+
+def classical_makespan_reference(schedule, model):
+    """Historical classical makespan: per-op walk + sink max."""
+    from repro.analysis.classical import disjunctive_sinks
+    from repro.stochastic.rv import NumericRV
+
+    finishes = classical_task_finishes_reference(schedule, model)
+    return NumericRV.max_of([finishes[v] for v in disjunctive_sinks(schedule)])
+
+
+def dodin_reduce_reference(g) -> None:
+    """The historical full-rescan series/parallel reduction fixpoint.
+
+    Rescans every node and every edge per iteration — quadratic on long
+    chains; kept verbatim as the reduction-order oracle for the worklist
+    rewrite in :mod:`repro.analysis.dodin`.
+    """
+    changed = True
+    while changed:
+        changed = False
+        # Parallel reduction: merge multi-arcs between the same vertex pair.
+        for a, b in list({(a, b) for a, b, _ in g.edges(keys=True)}):
+            keys = list(g[a][b].keys()) if g.has_edge(a, b) else []
+            if len(keys) > 1:
+                rv = g[a][b][keys[0]]["rv"]
+                for k in keys[1:]:
+                    rv = rv.maximum(g[a][b][k]["rv"])
+                g.remove_edges_from([(a, b, k) for k in keys])
+                g.add_edge(a, b, rv=rv)
+                changed = True
+        # Series reduction: splice out degree-(1,1) vertices.
+        for v in list(g.nodes):
+            if isinstance(v, int) and v < 0:  # source/sink sentinels
+                continue
+            if g.in_degree(v) == 1 and g.out_degree(v) == 1:
+                (a, _, ka) = next(iter(g.in_edges(v, keys=True)))
+                (_, b, kb) = next(iter(g.out_edges(v, keys=True)))
+                if a == v or b == v:  # pragma: no cover - self-loops impossible
+                    continue
+                rv = g[a][v][ka]["rv"].add(g[v][b][kb]["rv"])
+                g.remove_node(v)
+                if a == b:  # pragma: no cover - would be a cycle
+                    continue
+                g.add_edge(a, b, rv=rv)
+                changed = True
+
+
+def dodin_makespan_reference(schedule, model):
+    """Historical Dodin evaluation: full-rescan reduction + per-op walk."""
+    import networkx as nx
+
+    from repro.analysis.dodin import _SINK, _activity_network
+    from repro.stochastic.rv import NumericRV
+
+    g = _activity_network(schedule, model)
+    dodin_reduce_reference(g)
+    if g.number_of_edges() == 1:
+        _, _, data = next(iter(g.edges(data=True)))
+        return data["rv"]
+    arrival = {}
+    for v in nx.topological_sort(g):
+        parts = []
+        for a, _, data in g.in_edges(v, data=True):
+            parts.append(arrival[a].add(data["rv"]))
+        arrival[v] = NumericRV.max_of(parts) if parts else NumericRV.point(0.0)
+    return arrival[_SINK]

@@ -44,6 +44,7 @@ multi-machine deployment.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
@@ -150,11 +151,17 @@ class ShardManifest:
         )
 
     def write(self, directory: pathlib.Path | str) -> pathlib.Path:
-        """Write this manifest under its canonical name; returns the path."""
+        """Write this manifest under its canonical name; returns the path.
+
+        Atomic (temp file + ``os.replace``, like the artifact cache): a
+        killed writer never leaves a truncated file under the final name.
+        """
         directory = pathlib.Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / self.filename
-        path.write_text(canonical_json(self.to_payload()))
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(canonical_json(self.to_payload()))
+        os.replace(tmp, path)
         return path
 
     @classmethod
@@ -251,11 +258,17 @@ class ShardPartial:
         )
 
     def write(self, directory: pathlib.Path | str) -> pathlib.Path:
-        """Write this partial under its canonical name; returns the path."""
+        """Write this partial under its canonical name; returns the path.
+
+        Atomic (temp file + ``os.replace``): an interrupted shard worker
+        never leaves a truncated partial for ``merge`` to trip over.
+        """
         directory = pathlib.Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         path = directory / self.filename
-        path.write_text(canonical_json(self.to_payload()))
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(canonical_json(self.to_payload()))
+        os.replace(tmp, path)
         return path
 
     @classmethod

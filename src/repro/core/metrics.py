@@ -90,6 +90,14 @@ def metrics_from_distribution(
     """Extract the six distribution-based metrics from a makespan RV.
 
     Returns ``(mean, std, entropy, lateness, abs_prob, rel_prob)``.
+
+    Degenerate mass is accounted exactly: a Dirac makespan (deterministic
+    model, or a point-dominated join) yields ``abs_prob == rel_prob == 1``
+    and zero lateness via :meth:`NumericRV.prob_between` /
+    :meth:`NumericRV.mean_above`'s point handling, and a ``max_of`` floor
+    atom inside the probability window is counted as the point mass it is
+    rather than as the first-cell density ramp (:attr:`NumericRV.atom`).
+    ``NormalRV`` handles ``var == 0`` the same way.
     """
     if delta < 0:
         raise ValueError(f"delta must be ≥ 0, got {delta}")

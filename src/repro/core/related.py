@@ -61,11 +61,34 @@ def _replay_makespan(schedule: Schedule, inflation: float) -> float:
     return float(finish.max())
 
 
+def _replay_makespans_batch(
+    schedule: Schedule, inflations: np.ndarray
+) -> np.ndarray:
+    """Eager makespans for several inflations in one propagation pass.
+
+    Stacks the inflation candidates on the batch axis of the CSR
+    propagation kernel: one gather/maximum sweep replays every candidate
+    simultaneously.  Each column's arithmetic is elementwise per
+    realization, so the values equal ``_replay_makespan`` one by one (the
+    kernel-equivalence suite asserts it).
+    """
+    w = schedule.workload
+    dis = schedule.disjunctive()
+    factors = 1.0 + np.asarray(inflations, dtype=float)
+    durations = (
+        w.comp[np.arange(w.n_tasks), schedule.proc][None, :] * factors[:, None]
+    )
+    comm = schedule.edge_min_comm()[:, None] * factors[None, :]
+    _, finish = dis.propagate(durations, comm)
+    return finish.max(axis=-1)
+
+
 def robustness_radius(
     schedule: Schedule,
     tolerance: float = 1.2,
     max_inflation: float = 10.0,
     rel_tol: float = 1e-6,
+    points_per_pass: int = 15,
 ) -> float:
     """Ali et al. robustness radius along the uniform-inflation direction.
 
@@ -73,19 +96,36 @@ def robustness_radius(
     the eagerly replayed makespan stays ≤ ``tolerance · M_min`` (the
     deterministic minimum makespan).  ``inf`` would mean the bound is
     unreachable; inflation is capped at ``max_inflation``.
+
+    The bracket is refined by batched multi-point section search: every
+    pass replays ``points_per_pass`` candidate inflations through a single
+    vectorized kernel propagation (:func:`_replay_makespans_batch`) and
+    keeps the sub-interval between the last feasible and first infeasible
+    candidate — the same monotone-bracket invariant as the historical
+    per-point bisection, shrinking ``points_per_pass + 1``-fold per pass
+    instead of 2-fold, so ~4 kernel passes replace ~24.
     """
     if tolerance <= 1.0:
         raise ValueError(f"tolerance must exceed 1, got {tolerance}")
+    if points_per_pass < 1:
+        raise ValueError(f"need ≥ 1 point per pass, got {points_per_pass}")
     bound = tolerance * schedule.makespan
     if _replay_makespan(schedule, max_inflation) <= bound:
         return max_inflation
     lo, hi = 0.0, max_inflation
     while hi - lo > rel_tol * max(hi, 1.0):
-        mid = 0.5 * (lo + hi)
-        if _replay_makespan(schedule, mid) <= bound:
-            lo = mid
+        mids = np.linspace(lo, hi, points_per_pass + 2)[1:-1]
+        feasible = _replay_makespans_batch(schedule, mids) <= bound
+        # Replay is nondecreasing in the uniform inflation, so the bracket
+        # is [last feasible, first infeasible].
+        infeasible_idx = int(np.argmin(feasible)) if not feasible.all() else None
+        if feasible.all():
+            lo = float(mids[-1])
+        elif infeasible_idx == 0:
+            hi = float(mids[0])
         else:
-            hi = mid
+            lo = float(mids[infeasible_idx - 1])
+            hi = float(mids[infeasible_idx])
     return 0.5 * (lo + hi)
 
 

@@ -17,12 +17,18 @@ Contents
 :class:`StochasticModel`
     The paper's uncertainty model: a duration with minimum value ``w`` is a
     scaled Beta(α, β) on ``[w, UL·w]`` where ``UL`` is the uncertainty level.
+:class:`BatchedGridEngine`
+    The level-synchronous batched grid-RV engine: interned duration RVs,
+    memoized sum/max operations, and padded/vectorized batch pipelines for
+    whole DAG levels — bit-identical to the per-op :class:`NumericRV`
+    algebra (the classical/Dodin walks run on it).
 Distribution factories
     Scaled Beta, Gamma, uniform, Dirac and the deliberately multi-modal
     "special" distribution of Figure 7.
 """
 
 from repro.stochastic.rv import NumericRV, DEFAULT_GRID_SIZE
+from repro.stochastic.batch import BatchedGridEngine
 from repro.stochastic.distributions import (
     beta_rv,
     gamma_rv,
@@ -37,6 +43,7 @@ __all__ = [
     "NumericRV",
     "NormalRV",
     "StochasticModel",
+    "BatchedGridEngine",
     "DEFAULT_GRID_SIZE",
     "beta_rv",
     "gamma_rv",

@@ -23,6 +23,26 @@ points "largely sufficient" and we default slightly higher for headroom.
 Convolutions are computed with :func:`numpy.convolve` at a common step: at
 these sizes the direct O(N²) product is faster than FFT *and* free of ringing
 (negative lobes), which matters because PDFs must stay non-negative.
+
+Atom accounting
+---------------
+``max_of`` with a point-mass operand that cuts a continuous distribution
+produces a genuine *atom*: P(max ≤ floor) collapses onto the floor value.
+The grid arrays approximate that atom as extra density in the first grid
+cell (a representation choice the whole engine stack depends on — changing
+the arrays would change every downstream convolution), but the exact mass
+is additionally recorded in :attr:`NumericRV.atom` so the *metric layer*
+(:meth:`prob_between`, :meth:`mean_above`) can account for it exactly
+instead of treating the 2·mass/dx spike as smooth density.  The metadata
+survives :meth:`shift`/:meth:`scale` and is deliberately dropped by
+operations that smear the atom (sums, further maxima) — those fall back to
+the historical in-cell approximation.  See docs/architecture.md.
+
+The module-level array helpers (:func:`_convolve`, :func:`_trim_tails`,
+:func:`_conv_grid_plan`, :func:`_trim_window`, :func:`_refit_pdf`) are the
+single source of truth for the grid algebra; the per-op methods here and
+the level-batched engine in :mod:`repro.stochastic.batch` both call them,
+which is what makes the batched walk bit-identical to the per-op walk.
 """
 
 from __future__ import annotations
@@ -64,13 +84,22 @@ class NumericRV:
     pdf:
         Density values on ``xs`` (normalized to unit trapezoid mass), or
         ``None`` for a point mass.
+    atom:
+        Exact probability mass of a Dirac atom sitting at ``xs[0]``.  The
+        ``pdf`` array already *approximates* this atom as extra density in
+        the first grid cell (``max_of``'s floor representation); the scalar
+        here lets the metric layer undo that approximation.  0.0 for purely
+        continuous RVs.
     """
 
-    __slots__ = ("xs", "pdf", "_cdf")
+    __slots__ = ("xs", "pdf", "atom", "_cdf")
 
-    def __init__(self, xs: np.ndarray, pdf: np.ndarray | None):
+    def __init__(
+        self, xs: np.ndarray, pdf: np.ndarray | None, atom: float = 0.0
+    ):
         self.xs = xs
         self.pdf = pdf
+        self.atom = atom
         self._cdf: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
@@ -198,6 +227,18 @@ class NumericRV:
             return float(out)
         return out
 
+    @property
+    def _continuous_cdf(self) -> np.ndarray:
+        """Unnormalized CDF of the continuous part (atom spike removed).
+
+        Sampled on :attr:`xs`; the terminal value is ≈ ``1 − atom``.  Only
+        meaningful for atom-carrying RVs — the first grid cell's density is
+        reduced by the ``2·atom/dx`` trapezoid spike before integrating.
+        """
+        pdf = self.pdf.copy()
+        pdf[0] = max(pdf[0] - 2.0 * self.atom / self.dx, 0.0)
+        return np.clip(cumulative(pdf, self.dx), 0.0, None)
+
     def quantile(self, q: float) -> float:
         """Smallest x with P(X ≤ x) ≥ q (linear interpolation)."""
         if not 0.0 <= q <= 1.0:
@@ -210,9 +251,26 @@ class NumericRV:
         return float(np.interp(q, cdf, self.xs))
 
     def prob_between(self, a: float, b: float) -> float:
-        """P(a ≤ X ≤ b)."""
+        """P(a ≤ X ≤ b), with exact accounting of degenerate mass.
+
+        A Dirac mass at ``a`` (or anywhere inside ``[a, b]``) is counted in
+        full — the naive ``cdf(b) − cdf(a)`` drops P(X = a) because the
+        left-continuous interpolated CDF already includes it at ``a``.
+        Likewise, the floor atom that :meth:`max_of` piles into the first
+        grid cell is treated as a point mass at :attr:`lo` rather than as a
+        density ramp across the cell.
+        """
         if b < a:
             return 0.0
+        if self.is_point:
+            return 1.0 if a <= self.lo <= b else 0.0
+        if self.atom > 0.0:
+            cont = self._continuous_cdf
+            g = np.interp([a, b], self.xs, cont, left=0.0, right=float(cont[-1]))
+            mass = float(g[1]) - float(g[0])
+            if a <= self.lo <= b:
+                mass += self.atom
+            return min(mass, 1.0)
         return float(self.cdf(b)) - float(self.cdf(a))
 
     # ------------------------------------------------------------------ #
@@ -255,17 +313,30 @@ class NumericRV:
         """E[X | X > threshold] (used by the average-lateness metric).
 
         Returns ``threshold`` when there is (numerically) no mass above it.
+
+        When the threshold lands inside an atom-carrying first cell (a
+        :meth:`max_of` floor), the ``2·atom/dx`` spike must not be
+        interpolated as smooth density: the atom sits exactly at
+        :attr:`lo` ≤ threshold, so it is excluded and the integration uses
+        the continuous density only.
         """
         if self.is_point:
             return max(self.lo, threshold)
-        if threshold <= self.lo:
-            return self.mean()
         if threshold >= self.hi:
             return threshold
+        atom_cell = self.atom > 0.0 and self.lo <= threshold < float(self.xs[1])
+        if threshold <= self.lo and not atom_cell:
+            return self.mean()
+        pdf_eval = self.pdf
+        if atom_cell:
+            # Remove the atom spike from the interpolation endpoint: the
+            # mass it stands for is at lo, strictly below the threshold.
+            pdf_eval = self.pdf.copy()
+            pdf_eval[0] = max(pdf_eval[0] - 2.0 * self.atom / self.dx, 0.0)
         mask = self.xs > threshold
         xs = np.concatenate(([threshold], self.xs[mask]))
         pdf = np.concatenate(
-            ([float(np.interp(threshold, self.xs, self.pdf))], self.pdf[mask])
+            ([float(np.interp(threshold, self.xs, pdf_eval))], pdf_eval[mask])
         )
         mass = float(np.trapezoid(pdf, xs))
         if mass <= 1e-12:
@@ -283,7 +354,7 @@ class NumericRV:
             return self
         if self.is_point:
             return NumericRV.point(self.lo + c)
-        rv = NumericRV(self.xs + c, self.pdf)
+        rv = NumericRV(self.xs + c, self.pdf, atom=self.atom)
         rv._cdf = self._cdf
         return rv
 
@@ -296,7 +367,7 @@ class NumericRV:
             return self
         if self.is_point:
             return NumericRV.point(self.lo * c)
-        return NumericRV(self.xs * c, self.pdf / c)
+        return NumericRV(self.xs * c, self.pdf / c, atom=self.atom)
 
     def __add__(self, other: "NumericRV | float") -> "NumericRV":
         if isinstance(other, (int, float, np.floating)):
@@ -422,7 +493,9 @@ class NumericRV:
             # continuous part to carry mass (1 − atom), downsample to the
             # final grid, and only then pile the atom into the first cell
             # (trapezoid weight dx/2) — adding the spike before the final
-            # resample would rescale its mass by the grid-step ratio.
+            # resample would rescale its mass by the grid-step ratio.  The
+            # exact mass is recorded as RV metadata so the metric layer can
+            # treat it as the point mass it really is.
             xs, pdf = _trim_tails(xs, pdf, left=False)
             out_xs = np.linspace(xs[0], xs[-1], grid_n)
             out_pdf = resample_pdf(xs, pdf, out_xs)
@@ -431,9 +504,35 @@ class NumericRV:
             if total > 0.0:
                 out_pdf *= (1.0 - atom_mass) / total
             out_pdf[0] += 2.0 * atom_mass / dx
-            return NumericRV(out_xs, out_pdf)
+            return NumericRV(out_xs, out_pdf, atom=atom_mass)
         xs, pdf = _trim_tails(xs, pdf)
         return NumericRV.from_pdf(xs, pdf, grid_n=grid_n)
+
+
+def _trim_window(
+    cdf: np.ndarray,
+    n: int,
+    eps: float = _TAIL_EPS,
+    left: bool = True,
+) -> tuple[int, int]:
+    """Trim decision of :func:`_trim_tails` given the cumulative mass.
+
+    Returns the inclusive ``(lo_idx, hi_idx)`` window of the ``n``-point
+    grid whose cumulative (un-normalized) integral is ``cdf``.  Split out so
+    the batched engine can reproduce the exact decision from row-batched
+    cumulative arrays.
+    """
+    total = cdf[n - 1]
+    if n < 3 or total <= 0.0:
+        return 0, n - 1
+    lo_idx = int(np.searchsorted(cdf[:n], eps * total, side="left")) if left else 1
+    hi_idx = int(np.searchsorted(cdf[:n], (1.0 - eps) * total, side="right"))
+    lo_idx = max(lo_idx - 1, 0)
+    hi_idx = min(hi_idx + 1, n - 1)
+    if hi_idx - lo_idx < 2:
+        lo_idx = max(min(lo_idx, n - 3), 0)
+        hi_idx = min(lo_idx + 2, n - 1)
+    return lo_idx, hi_idx
 
 
 def _trim_tails(
@@ -447,17 +546,26 @@ def _trim_tails(
         return xs, pdf
     dx = xs[1] - xs[0]
     cdf = cumulative(pdf, dx)
-    total = cdf[-1]
-    if total <= 0.0:
-        return xs, pdf
-    lo_idx = int(np.searchsorted(cdf, eps * total, side="left")) if left else 1
-    hi_idx = int(np.searchsorted(cdf, (1.0 - eps) * total, side="right"))
-    lo_idx = max(lo_idx - 1, 0)
-    hi_idx = min(hi_idx + 1, len(xs) - 1)
-    if hi_idx - lo_idx < 2:
-        lo_idx = max(min(lo_idx, len(xs) - 3), 0)
-        hi_idx = min(lo_idx + 2, len(xs) - 1)
+    lo_idx, hi_idx = _trim_window(cdf, len(xs), eps=eps, left=left)
     return xs[lo_idx : hi_idx + 1], pdf[lo_idx : hi_idx + 1]
+
+
+def _conv_grid_plan(
+    dx_a: float, width_a: float, dx_b: float, width_b: float
+) -> tuple[float, int, int]:
+    """Common-step grid plan of :func:`_convolve`: ``(dx, n_a, n_b)``.
+
+    The step is the finer of the two operand steps, coarsened when the
+    joint support would exceed :data:`_MAX_CONV_POINTS`.  Split out so the
+    batched engine plans with the identical arithmetic.
+    """
+    dx = min(dx_a, dx_b)
+    n_out = (width_a + width_b) / dx
+    if n_out > _MAX_CONV_POINTS:
+        dx = (width_a + width_b) / _MAX_CONV_POINTS
+    n_a = max(int(np.ceil(width_a / dx)) + 1, 2)
+    n_b = max(int(np.ceil(width_b / dx)) + 1, 2)
+    return dx, n_a, n_b
 
 
 def _convolve(
@@ -470,17 +578,12 @@ def _convolve(
     """
     dx_a = xs_a[1] - xs_a[0]
     dx_b = xs_b[1] - xs_b[0]
-    dx = min(dx_a, dx_b)
     width_a = xs_a[-1] - xs_a[0]
     width_b = xs_b[-1] - xs_b[0]
-    n_out = (width_a + width_b) / dx
-    if n_out > _MAX_CONV_POINTS:
-        dx = (width_a + width_b) / _MAX_CONV_POINTS
+    dx, n_a, n_b = _conv_grid_plan(dx_a, width_a, dx_b, width_b)
     # Both grids must share the *exact* same step for the convolution axis to
     # be consistent, so build them with arange (the last point may overshoot
     # the support slightly; the density is zero there).
-    n_a = max(int(np.ceil(width_a / dx)) + 1, 2)
-    n_b = max(int(np.ceil(width_b / dx)) + 1, 2)
     grid_a = xs_a[0] + dx * np.arange(n_a)
     grid_b = xs_b[0] + dx * np.arange(n_b)
     ya = resample_pdf(xs_a, pdf_a, grid_a)

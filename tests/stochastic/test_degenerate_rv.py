@@ -1,0 +1,137 @@
+"""Degenerate (Dirac / atom-carrying) RV regression tests.
+
+Two historical bugs in the metric-facing queries:
+
+* ``prob_between(a, b)`` computed ``cdf(b) − cdf(a)``, which drops
+  P(X = a) for a Dirac mass at ``a`` and mis-ramps the floor atom that
+  ``max_of`` piles into the first grid cell;
+* ``mean_above(t)`` interpolated the ``2·atom/dx`` first-cell spike as
+  smooth density when ``t`` lands inside the atom cell.
+
+Both silently corrupted the probabilistic robustness metrics for
+near-deterministic schedules.  These tests pin the fixed semantics, the
+atom metadata plumbing, and the metric layer end-to-end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import evaluate_schedule, metrics_from_distribution
+from repro.platform import cholesky_workload
+from repro.schedule import heft
+from repro.stochastic import NumericRV, StochasticModel, point_rv, uniform_rv
+
+
+class TestDiracProbBetween:
+    def test_atom_at_left_endpoint_counted(self):
+        p = point_rv(5.0)
+        assert p.prob_between(5.0, 5.0) == 1.0
+        assert p.prob_between(5.0, 6.0) == 1.0
+        assert p.prob_between(4.0, 5.0) == 1.0
+
+    def test_outside_support_is_zero(self):
+        p = point_rv(5.0)
+        assert p.prob_between(5.1, 6.0) == 0.0
+        assert p.prob_between(3.0, 4.9) == 0.0
+        assert p.prob_between(6.0, 4.0) == 0.0  # inverted interval
+
+    def test_continuous_rv_unchanged(self):
+        """The fix must not perturb purely continuous RVs (fig hashes)."""
+        rv = uniform_rv(0.0, 1.0, grid_n=101)
+        a, b = 0.25, 0.75
+        assert rv.prob_between(a, b) == float(rv.cdf(b)) - float(rv.cdf(a))
+        assert rv.atom == 0.0
+
+
+class TestMaxOfAtom:
+    def setup_method(self):
+        # max(U[0,1], 0.5): atom of mass F(0.5) = 0.5 at the floor.
+        self.rv = uniform_rv(0.0, 1.0, grid_n=201).maximum(point_rv(0.5))
+
+    def test_atom_metadata_recorded(self):
+        assert self.rv.atom == pytest.approx(0.5, abs=2e-2)
+        assert self.rv.lo >= 0.5 - 1e-9
+
+    def test_atom_survives_shift_and_scale(self):
+        assert self.rv.shift(2.0).atom == self.rv.atom
+        assert self.rv.scale(3.0).atom == self.rv.atom
+
+    def test_prob_between_counts_atom_exactly(self):
+        # P(lo ≤ X ≤ b) must include the full atom, not its in-cell ramp.
+        lo = self.rv.lo
+        b = lo + 5 * self.rv.dx
+        expect = self.rv.atom + 5 * self.rv.dx  # atom + uniform density run
+        assert self.rv.prob_between(lo, b) == pytest.approx(expect, abs=2e-2)
+        # Total mass is still one.
+        assert self.rv.prob_between(lo, self.rv.hi) == pytest.approx(1.0, abs=1e-9)
+
+    def test_prob_between_excludes_atom_above_floor(self):
+        a = self.rv.lo + 0.25 * self.rv.dx  # inside the atom cell, above lo
+        p = self.rv.prob_between(a, self.rv.hi)
+        assert p == pytest.approx(0.5, abs=2e-2)  # continuous half only
+
+    def test_mean_above_inside_atom_cell(self):
+        # E[max(U, ½) | X > t] for t just above the floor is the mean of
+        # U | U > ½ — the atom must not leak into the integral as density.
+        t = self.rv.lo + 0.5 * self.rv.dx
+        assert self.rv.mean_above(t) == pytest.approx(0.75, abs=1e-2)
+
+    def test_mean_above_at_floor_excludes_atom(self):
+        assert self.rv.mean_above(self.rv.lo) == pytest.approx(0.75, abs=1e-2)
+
+    def test_mean_above_outside_atom_cell_unchanged(self):
+        t = self.rv.lo + 10 * self.rv.dx
+        # Past the atom cell the historical integration path applies.
+        ref = uniform_rv(0.0, 1.0, grid_n=201).mean_above(t)
+        assert self.rv.mean_above(t) == pytest.approx(ref, rel=5e-2)
+
+    def test_mean_unchanged_by_metadata(self):
+        # mean() keeps the historical trapezoid value (atom ≈ mass·lo term).
+        assert self.rv.mean() == pytest.approx(0.625, abs=5e-3)
+
+
+class TestPointMassMetrics:
+    def test_metrics_from_point_distribution(self):
+        mean, std, entropy, lateness, abs_p, rel_p = metrics_from_distribution(
+            NumericRV.point(100.0)
+        )
+        assert mean == 100.0
+        assert std == 0.0
+        assert entropy == float("-inf")
+        assert lateness == 0.0
+        assert abs_p == 1.0  # was 0.0 before the Dirac fix
+        assert rel_p == 1.0
+
+    def test_deterministic_model_end_to_end(self):
+        """ul=1 ⇒ every duration is a point ⇒ makespan is a Dirac."""
+        s = heft(cholesky_workload(4, 3, rng=5))
+        model = StochasticModel(ul=1.0)
+        for method in ("classical", "dodin", "spelde"):
+            m = evaluate_schedule(s, model, method=method)
+            assert m.abs_prob == 1.0, method
+            assert m.rel_prob == 1.0, method
+            assert m.lateness == 0.0, method
+            assert m.makespan_std == 0.0, method
+            assert m.makespan == pytest.approx(s.makespan), method
+
+    def test_atom_metrics_through_distribution_layer(self):
+        rv = uniform_rv(10.0, 11.0, grid_n=201).maximum(point_rv(10.8))
+        mean = rv.mean()
+        _, _, _, lateness, abs_p, rel_p = metrics_from_distribution(
+            rv, delta=0.05, gamma=1.01
+        )
+        # |window| covers the atom: both probabilistic metrics must count
+        # its full mass — strictly more than the continuous mass alone.
+        assert abs_p > rv.atom
+        assert rel_p > rv.atom
+        assert abs_p <= 1.0 and rel_p <= 1.0
+        assert lateness >= 0.0
+        # E[max(U, 10.8)] = 10.8·0.8 + 10.9·0.2 = 10.82
+        assert mean == pytest.approx(10.82, abs=5e-3)
+
+    def test_dirac_makespan_prob_within_zero_delta(self):
+        # δ = 0: P(M = E(M)) is 1 for a deterministic makespan.
+        _, _, _, _, abs_p, _ = metrics_from_distribution(
+            NumericRV.point(50.0), delta=0.0
+        )
+        assert abs_p == 1.0
