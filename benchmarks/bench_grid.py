@@ -16,6 +16,13 @@ call-overhead-bound and the batched engine clears 2×; on dense *random*
 graphs the wall-clock is dominated by the irreducible C kernels (the
 common-step convolutions themselves), which bit-identity pins, so the
 ratio is reported but only floored near parity.
+
+The ``*_fastconv`` rows measure the opt-in fast precision policy on the
+dense random shape — the convolution wall the policy exists to break.
+Those pairs are *not* bit-identical (the caps bound the intermediate
+grids); the measured error is asserted in
+``tests/analysis/test_fast_conv.py``, and the floor here is the ≥3×
+end-to-end target.
 """
 
 from __future__ import annotations
@@ -122,3 +129,44 @@ class TestDodinMakespan:
         # data-dependent), so its floor sits below the classical one.
         dodin_floor = min(floor, 1.4) if floor >= 2.0 else 1.0
         assert ratio >= (dodin_floor / 2.0 if bench_quick else dodin_floor)
+
+
+class TestFastConv:
+    """Fast precision policy vs the per-op reference on the dense random
+    shape (the convolution wall): ≥3× end-to-end."""
+
+    _FLOOR = 3.0
+
+    @pytest.fixture(scope="class")
+    def dense_schedule(self):
+        return heft(random_workload(100, 8, rng=3))
+
+    def test_classical_fastconv(
+        self, record_bench, bench_quick, model, dense_schedule
+    ):
+        fast = model.with_fast_conv()
+        reps = 3 if bench_quick else 7
+        ratio = _pair(
+            record_bench,
+            "classical_makespan_fastconv",
+            "random_n100_m8",
+            lambda: classical_makespan_reference(dense_schedule, model),
+            lambda: classical_makespan(dense_schedule, fast),
+            reps,
+        )
+        assert ratio >= (self._FLOOR / 2.0 if bench_quick else self._FLOOR)
+
+    def test_dodin_fastconv(
+        self, record_bench, bench_quick, model, dense_schedule
+    ):
+        fast = model.with_fast_conv()
+        reps = 3 if bench_quick else 7
+        ratio = _pair(
+            record_bench,
+            "dodin_makespan_fastconv",
+            "random_n100_m8",
+            lambda: dodin_makespan_reference(dense_schedule, model),
+            lambda: dodin_makespan(dense_schedule, fast),
+            reps,
+        )
+        assert ratio >= (self._FLOOR / 2.0 if bench_quick else self._FLOOR)

@@ -98,7 +98,7 @@ def _activity_network(
     return g
 
 
-def _reduce(g: nx.MultiDiGraph) -> None:
+def _reduce(g: nx.MultiDiGraph, fast_conv: bool = False) -> None:
     """Series/parallel reduction fixpoint, worklist-driven.
 
     Equivalent to the historical full-rescan fixpoint
@@ -109,6 +109,10 @@ def _reduce(g: nx.MultiDiGraph) -> None:
     degrees were touched since their last visit are ever re-examined.  The
     work is therefore proportional to the reductions performed instead of
     (passes × graph size).
+
+    ``fast_conv`` threads the fast precision policy into the per-op
+    ``add``/``maximum`` calls (the reduction operates on RV methods
+    directly, not through an engine).
     """
     order = {v: i for i, v in enumerate(g.nodes)}
     pend_pairs = {(a, b) for a, b, _ in g.edges(keys=True)}
@@ -122,7 +126,7 @@ def _reduce(g: nx.MultiDiGraph) -> None:
             if len(keys) > 1:
                 rv = g[a][b][keys[0]]["rv"]
                 for k in keys[1:]:
-                    rv = rv.maximum(g[a][b][k]["rv"])
+                    rv = rv.maximum(g[a][b][k]["rv"], fast=fast_conv)
                 g.remove_edges_from([(a, b, k) for k in keys])
                 g.add_edge(a, b, rv=rv)
                 # Merges change degrees: both endpoints become series
@@ -152,7 +156,7 @@ def _reduce(g: nx.MultiDiGraph) -> None:
             (_, b, kb) = next(iter(g.out_edges(v, keys=True)))
             if a == v or b == v:  # pragma: no cover - self-loops impossible
                 continue
-            rv = g[a][v][ka]["rv"].add(g[v][b][kb]["rv"])
+            rv = g[a][v][ka]["rv"].add(g[v][b][kb]["rv"], fast=fast_conv)
             g.remove_node(v)
             if a == b:  # pragma: no cover - would be a cycle
                 continue
@@ -206,7 +210,7 @@ def dodin_makespan(
     """Makespan RV via series-parallel reduction (independence fallback)."""
     eng = BatchedGridEngine(model) if engine is None else engine
     g = _activity_network(schedule, model, engine=eng)
-    _reduce(g)
+    _reduce(g, fast_conv=eng.fast_conv)
     if g.number_of_edges() == 1:
         _, _, data = next(iter(g.edges(data=True)))
         return data["rv"]

@@ -53,6 +53,9 @@ class CampaignCase:
     mc_batch:
         Evaluate all schedules against shared realization draws (the
         batched fast path; ``montecarlo`` engine only).
+    fast_conv:
+        Opt the grid engines into the fast precision policy (see
+        :mod:`repro.stochastic.rv`; ``classical``/``dodin`` only).
     """
 
     spec: CaseSpec
@@ -65,6 +68,7 @@ class CampaignCase:
     gamma: float = DEFAULT_GAMMA
     mc_realizations: int = 10_000
     mc_batch: bool = False
+    fast_conv: bool = False
 
     @property
     def name(self) -> str:
@@ -81,8 +85,13 @@ class CampaignCase:
     # ------------------------------------------------------------------ #
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-compatible field dump (inverse of :meth:`from_dict`)."""
-        return {
+        """JSON-compatible field dump (inverse of :meth:`from_dict`).
+
+        ``fast_conv`` is serialized only when set: the default (exact)
+        policy omits the field so that exact-mode cache keys — and every
+        artifact cached before the field existed — stay byte-identical.
+        """
+        payload = {
             "kind": self.spec.kind,
             "param": self.spec.param,
             "ul": self.spec.ul,
@@ -97,6 +106,9 @@ class CampaignCase:
             "mc_realizations": self.mc_realizations,
             "mc_batch": self.mc_batch,
         }
+        if self.fast_conv:
+            payload["fast_conv"] = True
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "CampaignCase":
@@ -117,6 +129,7 @@ class CampaignCase:
             gamma=float(payload["gamma"]),
             mc_realizations=int(payload["mc_realizations"]),
             mc_batch=bool(payload["mc_batch"]),
+            fast_conv=bool(payload.get("fast_conv", False)),
         )
 
     @property
@@ -176,6 +189,7 @@ class CampaignCase:
             name=self.spec.name,
             mc_realizations=self.mc_realizations,
             mc_batch=self.mc_batch,
+            fast_conv=self.fast_conv,
         )
 
 
@@ -185,6 +199,7 @@ def expand_suite(
     base_seed: int = 20070913,
     method: Method = "classical",
     mc_batch: bool = False,
+    fast_conv: bool = False,
 ) -> list[CampaignCase]:
     """Expand case specs into :class:`CampaignCase` work units at a scale.
 
@@ -201,6 +216,7 @@ def expand_suite(
             method=method,
             mc_realizations=scale.mc_realizations,
             mc_batch=mc_batch,
+            fast_conv=fast_conv,
         )
         for spec in specs
     ]

@@ -198,16 +198,41 @@ def evaluate_schedule(
     gamma: float = DEFAULT_GAMMA,
     n_realizations: int = 10_000,
     rng: int | None | np.random.Generator = None,
+    engine=None,
+    fast_conv: bool = False,
 ) -> RobustnessMetrics:
     """Compute all §IV metrics for ``schedule`` under ``model``.
 
     ``method`` selects the makespan-distribution engine; ``n_realizations``
     and ``rng`` only apply to ``"montecarlo"``.
+
+    ``engine`` optionally shares a
+    :class:`~repro.stochastic.batch.BatchedGridEngine` across schedules of
+    the same model (classical/Dodin only) — its intern pools and
+    value-keyed memos make a case panel reuse every repeated duration RV
+    and sub-expression.  ``fast_conv=True`` opts into the fast grid-algebra
+    precision policy (see :mod:`repro.stochastic.rv`); it applies only to
+    the grid engines, so other methods raise rather than silently ignore
+    it.  A shared engine must have been built for the same policy.
     """
+    if fast_conv and method not in ("classical", "dodin"):
+        raise ValueError(
+            f"fast_conv applies to the grid engines only, not method={method!r}"
+        )
+    if fast_conv and not model.fast_conv:
+        model = model.with_fast_conv()
+    if engine is not None and getattr(engine, "fast_conv", False) != model.fast_conv:
+        raise ValueError(
+            "shared engine was built for a different precision policy "
+            f"(engine.fast_conv={engine.fast_conv!r}, "
+            f"model.fast_conv={model.fast_conv!r})"
+        )
     if method == "classical":
-        rv: NumericRV | NormalRV = classical_makespan(schedule, model)
+        rv: NumericRV | NormalRV = classical_makespan(
+            schedule, model, engine=engine
+        )
     elif method == "dodin":
-        rv = dodin_makespan(schedule, model)
+        rv = dodin_makespan(schedule, model, engine=engine)
     elif method == "spelde":
         rv = spelde_makespan(schedule, model)
     elif method == "montecarlo":

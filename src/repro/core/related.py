@@ -109,6 +109,12 @@ def robustness_radius(
         raise ValueError(f"tolerance must exceed 1, got {tolerance}")
     if points_per_pass < 1:
         raise ValueError(f"need ≥ 1 point per pass, got {points_per_pass}")
+    if schedule.makespan <= 0.0:
+        # Degenerate zero-duration schedule: the makespan stays 0 ≤
+        # tolerance·0 under any inflation, so every candidate is feasible —
+        # the multiplicative bound (which would read every candidate as
+        # infeasible and collapse the bracket to 0) does not apply.
+        return max_inflation
     bound = tolerance * schedule.makespan
     if _replay_makespan(schedule, max_inflation) <= bound:
         return max_inflation

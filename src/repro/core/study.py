@@ -12,6 +12,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.montecarlo import sample_makespans_batch
+from repro.stochastic.batch import BatchedGridEngine
 from repro.core.metrics import (
     DEFAULT_DELTA,
     DEFAULT_GAMMA,
@@ -52,6 +53,7 @@ def evaluate_case(
     name: str = "",
     mc_realizations: int = 10_000,
     mc_batch: bool = False,
+    fast_conv: bool = False,
 ) -> CaseResult:
     """Evaluate ``n_random`` random schedules + ``heuristics`` on one case.
 
@@ -61,16 +63,37 @@ def evaluate_case(
     in the correlations).
 
     ``mc_realizations`` and ``mc_batch`` only apply to the ``montecarlo``
-    engine.  With ``mc_batch`` every schedule of the case is evaluated
-    against **shared** realization draws (one Beta block for the whole
-    population instead of one per schedule) via
+    engine (requesting ``mc_batch`` with another method raises).  With
+    ``mc_batch`` every schedule of the case is evaluated against
+    **shared** realization draws (one Beta block for the whole population
+    instead of one per schedule) via
     :func:`~repro.analysis.montecarlo.sample_makespans_batch` — the
     campaign fast path.  Its draw stream is deterministic in ``rng`` but
     differs from the per-schedule stream, so batched and unbatched panels
     agree statistically, not bit-for-bit.
+
+    ``fast_conv`` opts the grid engines (classical/Dodin only — other
+    methods raise) into the fast precision policy documented in
+    :mod:`repro.stochastic.rv`.
+
+    For the grid engines the whole case panel shares **one**
+    :class:`~repro.stochastic.batch.BatchedGridEngine`: every repeated
+    duration RV is interned once for all ``n_random + len(heuristics)``
+    schedules, and the value-keyed operation memos reuse sub-expressions
+    across schedules.  Results are bit-identical to per-schedule engines.
     """
     if n_random < 2:
         raise ValueError("need at least two random schedules for correlations")
+    if mc_batch and method != "montecarlo":
+        raise ValueError(
+            f"mc_batch applies to the montecarlo method only, got method={method!r}"
+        )
+    if fast_conv and method not in ("classical", "dodin"):
+        raise ValueError(
+            f"fast_conv applies to the grid engines only, not method={method!r}"
+        )
+    if fast_conv and not model.fast_conv:
+        model = model.with_fast_conv()
     gen = as_generator(rng)
 
     if mc_batch and method == "montecarlo":
@@ -95,6 +118,11 @@ def evaluate_case(
             heuristic_metrics=heuristic_metrics,
         )
 
+    # One engine for the whole panel: cross-schedule interning + memos.
+    engine = (
+        BatchedGridEngine(model) if method in ("classical", "dodin") else None
+    )
+
     metrics: list[RobustnessMetrics] = []
     labels: list[str] = []
     for schedule in random_schedules(workload, n_random, gen):
@@ -107,6 +135,7 @@ def evaluate_case(
                 gamma=gamma,
                 n_realizations=mc_realizations,
                 rng=gen,
+                engine=engine,
             )
         )
         labels.append(schedule.label)
@@ -125,6 +154,7 @@ def evaluate_case(
             gamma=gamma,
             n_realizations=mc_realizations,
             rng=gen,
+            engine=engine,
         )
         heuristic_metrics[hname] = hm
         metrics.append(hm)

@@ -216,6 +216,13 @@ def main(argv: list[str] | None = None) -> int:
         "(O(1) memory, bit-identical report)",
     )
     parser.add_argument(
+        "--fast-conv",
+        action="store_true",
+        help="campaign figures: opt the grid engines into the fast "
+        "precision policy (capped conv/max grids + FFT dispatch; see "
+        "docs/performance.md — measured error bounds, distinct cache keys)",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=None,
@@ -255,7 +262,9 @@ def main(argv: list[str] | None = None) -> int:
         t0 = time.perf_counter()
         if name == "aggregate":
             try:
-                result = fig6_aggregate.aggregate_from_cache(scale, cache=cache)
+                result = fig6_aggregate.aggregate_from_cache(
+                    scale, cache=cache, fast_conv=args.fast_conv
+                )
             except ValueError as exc:
                 # Empty/typo'd cache dir, or artifacts of another scale/seed.
                 parser.error(str(exc))
@@ -268,6 +277,7 @@ def main(argv: list[str] | None = None) -> int:
                 "cache": cache,
                 "force": args.force,
                 "backend": backend,
+                "fast_conv": args.fast_conv,
             }
             if name == "fig6":
                 kwargs["stream"] = args.stream
@@ -335,6 +345,11 @@ def _campaign_main(argv: list[str]) -> int:
     p_shard.add_argument(
         "--out-dir", type=pathlib.Path, required=True, metavar="DIR"
     )
+    p_shard.add_argument(
+        "--fast-conv",
+        action="store_true",
+        help="shard the fast-precision-policy variant of the suite",
+    )
 
     p_worker = sub.add_parser(
         "worker", help="execute one shard file against a cache directory"
@@ -380,6 +395,11 @@ def _campaign_main(argv: list[str]) -> int:
         "scale/seed as orphans",
     )
     p_verify.add_argument("--seed", type=int, default=20070913)
+    p_verify.add_argument(
+        "--fast-conv",
+        action="store_true",
+        help="audit against the fast-precision-policy variant of the suite",
+    )
 
     args = parser.parse_args(argv)
 
@@ -387,7 +407,10 @@ def _campaign_main(argv: list[str]) -> int:
         if args.shards < 1:
             parser.error("--shards must be ≥ 1")
         scale = get_scale(args.scale)
-        cases = expand_suite(default_suite(), scale, base_seed=args.seed)
+        cases = expand_suite(
+            default_suite(), scale, base_seed=args.seed,
+            fast_conv=args.fast_conv,
+        )
         manifests = partition_cases(list(enumerate(cases)), args.shards)
         for manifest in manifests:
             path = manifest.write(args.out_dir)
@@ -443,7 +466,10 @@ def _campaign_main(argv: list[str]) -> int:
     expected = None
     if args.scale is not None:
         scale = get_scale(args.scale)
-        expected = expand_suite(default_suite(), scale, base_seed=args.seed)
+        expected = expand_suite(
+            default_suite(), scale, base_seed=args.seed,
+            fast_conv=args.fast_conv,
+        )
     audit = cache.verify(expected)
     print(f"[{args.cache_dir}: {audit.summary()}]")
     for path, reason in audit.corrupt:

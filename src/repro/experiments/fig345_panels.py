@@ -67,13 +67,15 @@ def run_panel(
     cache: ArtifactCache | None = None,
     force: bool = False,
     backend: ExecutionBackend | None = None,
+    fast_conv: bool = False,
 ) -> PanelResult:
     """Evaluate one panel case at the given scale.
 
     The case runs through the campaign layer on any execution backend:
     with ``cache`` set, a previously computed artifact for the same
     spec/scale/seed is reused instead of recomputing (``force``
-    overrides).
+    overrides).  ``fast_conv`` opts into the fast precision policy (its
+    artifact hashes to a different key, so caches never collide).
     """
     scale = get_scale(scale)
     n_random = scale.n_random(spec.n_tasks)
@@ -82,6 +84,7 @@ def run_panel(
         base_seed=seed,
         n_random=n_random,
         grid_n=scale.grid_n,
+        fast_conv=fast_conv,
     )
     campaign = Campaign(
         (campaign_case,), jobs=jobs, cache=cache, force=force, backend=backend

@@ -159,6 +159,7 @@ def run(
     stream: bool = False,
     keep_case_results: bool | None = None,
     backend: ExecutionBackend | None = None,
+    fast_conv: bool = False,
 ) -> Fig6Result:
     """Run the case suite and aggregate the Pearson matrices.
 
@@ -176,12 +177,16 @@ def run(
     soon as each case is folded — O(1) memory in the suite size.
     ``keep_case_results`` overrides the retention default (``not stream``)
     for tests and post-hoc analyses that need the raw panels.
+
+    ``fast_conv=True`` runs the suite under the fast grid-algebra
+    precision policy (classical/Dodin only); its cases hash to different
+    artifact keys, so fast and exact caches never collide.
     """
     scale = get_scale(scale)
     if specs is None:
         specs = default_suite()
     campaign = Campaign(
-        expand_suite(specs, scale, base_seed=seed),
+        expand_suite(specs, scale, base_seed=seed, fast_conv=fast_conv),
         jobs=jobs,
         cache=cache,
         force=force,
@@ -205,6 +210,7 @@ def aggregate_from_cache(
     seed: int = 20070913,
     specs: list[CaseSpec] | None = None,
     cache: ArtifactCache | None = None,
+    fast_conv: bool = False,
 ) -> Fig6Result:
     """Summarize an existing campaign cache — no case is ever recomputed.
 
@@ -224,7 +230,7 @@ def aggregate_from_cache(
     scale = get_scale(scale)
     if specs is None:
         specs = default_suite()
-    cases = expand_suite(specs, scale, base_seed=seed)
+    cases = expand_suite(specs, scale, base_seed=seed, fast_conv=fast_conv)
     # Cache iteration visits cases in case order, so immediate folding
     # (ordered=False) follows the same canonical fold sequence as `run` —
     # while tolerating holes left by interrupted sweeps.

@@ -21,8 +21,25 @@ operation costs a dozen numpy calls plus object/validation overhead.
   gradient, and batched trim/refit/atom accounting;
 * ``model.rv(duration)`` results are **interned** per engine (durations
   repeat heavily across tasks and edges), common-step operand resamples
-  are memoized, and sum/max results are memoized by operand identity, so
-  repeated grid operations are computed once per engine.
+  are memoized, and sum/max results are memoized by operand *value*: every
+  operand is first mapped to a content-keyed value id (support endpoints,
+  length, atom and the raw density bytes), so two distinct objects holding
+  equal arrays — e.g. the same sub-expression reached through two
+  schedules of a shared-engine case panel — hit the same memo entry.  The
+  id→vid mapping is cached per object (with the operands kept alive so
+  ids stay valid), making the common case a single dict hit.
+
+Precision policy
+----------------
+The engine honours ``model.fast_conv``: under the fast policy every
+convolution plan is capped at the :func:`rv._fast_conv_points` budget,
+every N-way maximum fine grid at :func:`rv._fast_max_points`, and large
+balanced convolutions dispatch to the FFT kernel — the same arithmetic as
+the per-op ``fast=True`` paths in :mod:`repro.stochastic.rv`.  The
+default (exact) mode is untouched and remains the bit-identity contract
+below; :attr:`BatchedGridEngine.stats` reports how often the fast caps
+actually bound (``conv_capped``/``max_capped``/``fft_convs``) so tests
+can assert the policy engaged.
 
 Bit-identity
 ------------
@@ -51,8 +68,15 @@ from repro.stochastic.grid import cumulative, resample_pdf
 from repro.stochastic.model import StochasticModel
 from repro.stochastic.rv import (
     NumericRV,
+    _FFT_MIN_OPERAND,
+    _MAX_CONV_POINTS,
+    _MAX_FINE_POINTS,
     _TAIL_EPS,
     _conv_grid_plan,
+    _conv_kernel,
+    _fast_conv_points,
+    _fast_max_points,
+    _rescue_lost_operand,
     _trim_window,
 )
 
@@ -223,11 +247,48 @@ class BatchedGridEngine:
 
     def __init__(self, model: StochasticModel):
         self.model = model
+        #: Whether the fast precision policy is active (``model.fast_conv``).
+        self.fast_conv = bool(getattr(model, "fast_conv", False))
         self._rv_pool: dict[float, NumericRV] = {}
         self._point_pool: dict[float, NumericRV] = {}
         self._add_memo: dict[tuple[int, int], tuple] = {}
         self._max_memo: dict[tuple[int, ...], tuple] = {}
         self._resample_memo: dict[tuple[int, float, int], tuple] = {}
+        # Value interning: content signature → value id, with a per-object
+        # id cache (operands are kept alive so ids stay valid).
+        self._value_ids: dict[int, int] = {}
+        self._value_keys: dict[tuple, int] = {}
+        self._value_keep: list[NumericRV] = []
+        # Fast-policy diagnostics (all zero in exact mode).
+        self._conv_capped = 0
+        self._max_capped = 0
+        self._fft_convs = 0
+
+    def _vid(self, rv: NumericRV) -> int:
+        """Content-keyed value id of ``rv`` (the memo-key currency).
+
+        Two RVs with equal support, density bytes and atom metadata map to
+        the same id, so memo hits no longer require object identity.  Safe
+        for bit-identity: every memoized operation is a pure function of
+        exactly the signed content.
+        """
+        vid = self._value_ids.get(id(rv))
+        if vid is None:
+            if rv.is_point:
+                sig = (True, float(rv.xs[0]), rv.atom)
+            else:
+                sig = (
+                    False,
+                    float(rv.xs[0]),
+                    float(rv.xs[-1]),
+                    len(rv.xs),
+                    rv.atom,
+                    rv.pdf.tobytes(),
+                )
+            vid = self._value_keys.setdefault(sig, len(self._value_keys))
+            self._value_ids[id(rv)] = vid
+            self._value_keep.append(rv)
+        return vid
 
     # ------------------------------------------------------------------ #
     # interning
@@ -266,7 +327,8 @@ class BatchedGridEngine:
         """Distribution of X + Y for every pair — one batched level step.
 
         Point operands shift exactly as :meth:`NumericRV.add`; repeated
-        identity pairs (same objects) are computed once per engine.
+        *value* pairs (equal-content operands, same or distinct objects)
+        are computed once per engine.
         """
         results: list[NumericRV | None] = [None] * len(pairs)
         jobs: list[tuple[int, tuple[int, int], NumericRV, NumericRV]] = []
@@ -279,7 +341,7 @@ class BatchedGridEngine:
             if b.is_point:
                 results[i] = a.shift(b.lo)
                 continue
-            key = (id(a), id(b))
+            key = (self._vid(a), self._vid(b))
             memo = self._add_memo.get(key)
             if memo is not None:
                 results[i] = memo[2]
@@ -302,31 +364,47 @@ class BatchedGridEngine:
         duration/communication RVs impose their fine step on every partner —
         so the resample repeats across a walk and is worth caching.
         """
-        key = (id(rv), dx, n)
+        key = (self._vid(rv), dx, n)
         hit = self._resample_memo.get(key)
         if hit is not None:
             return hit[1]
         grid = rv.xs[0] + dx * np.arange(n)
-        y = resample_pdf(rv.xs, rv.pdf, grid)
+        y = _rescue_lost_operand(
+            rv.xs, rv.pdf, grid, resample_pdf(rv.xs, rv.pdf, grid)
+        )
         self._resample_memo[key] = (rv, y)
         return y
 
     def _conv_job(self, job: tuple) -> tuple:
-        """Plan + convolve one unique sum job (exact per-op primitives)."""
+        """Plan + convolve one unique sum job (per-op primitives).
+
+        Exact mode plans at :data:`rv._MAX_CONV_POINTS` and always uses the
+        direct ``np.convolve`` product.  Fast mode caps the plan at the
+        :func:`rv._fast_conv_points` budget of the output grid and lets
+        :func:`rv._conv_kernel` dispatch large balanced products to the FFT
+        — identical arithmetic to ``NumericRV.add(..., fast=True)``.
+        """
         a, b = job[2], job[3]
         xs_a, xs_b = a.xs, b.xs
+        grid_n = max(len(xs_a), len(xs_b))
+        dx_a = xs_a[1] - xs_a[0]
+        dx_b = xs_b[1] - xs_b[0]
+        width_a = xs_a[-1] - xs_a[0]
+        width_b = xs_b[-1] - xs_b[0]
+        cap = _fast_conv_points(grid_n) if self.fast_conv else _MAX_CONV_POINTS
+        if self.fast_conv and (width_a + width_b) / min(dx_a, dx_b) > cap:
+            self._conv_capped += 1
         dx, n_a, n_b = _conv_grid_plan(
-            xs_a[1] - xs_a[0],
-            xs_a[-1] - xs_a[0],
-            xs_b[1] - xs_b[0],
-            xs_b[-1] - xs_b[0],
+            dx_a, width_a, dx_b, width_b, max_points=cap
         )
         ya = self._operand_grid(a, dx, n_a)
         yb = self._operand_grid(b, dx, n_b)
         # The one reduction whose float grouping depends on operand
-        # length: never padded, always the exact per-op primitive.
-        conv = np.convolve(ya, yb) * dx
-        return (job, conv, xs_a[0] + xs_b[0], dx, max(len(xs_a), len(xs_b)))
+        # length: never padded, always the per-op kernel.
+        if self.fast_conv and min(n_a, n_b) >= _FFT_MIN_OPERAND:
+            self._fft_convs += 1
+        conv = _conv_kernel(ya, yb, fast=self.fast_conv) * dx
+        return (job, conv, xs_a[0] + xs_b[0], dx, grid_n)
 
     def _add_batch(self, jobs: list, results: list) -> None:
         """Convolve every unique sum job, then bucket-refit the results."""
@@ -524,7 +602,7 @@ class BatchedGridEngine:
             rvs = list(rvs)
             if not rvs:
                 raise ValueError("max_of() requires at least one RV")
-            key = tuple(id(rv) for rv in rvs)
+            key = tuple(self._vid(rv) for rv in rvs)
             memo = self._max_memo.get(key)
             if memo is not None:
                 results[i] = memo[1]
@@ -618,7 +696,11 @@ class BatchedGridEngine:
         if hi <= max(floor, lo):
             return self.point(max(floor, lo))
         min_dx = min(rv.dx for rv in continuous)
-        fine = int(min(max(4 * grid_n, np.ceil((hi - lo) / min_dx) + 1), 8192))
+        cap = _fast_max_points(grid_n) if self.fast_conv else _MAX_FINE_POINTS
+        want = max(4 * grid_n, np.ceil((hi - lo) / min_dx) + 1)
+        if self.fast_conv and want > cap:
+            self._max_capped += 1
+        fine = int(min(want, cap))
         return (floor, continuous, lo, hi, grid_n, fine)
 
     def _max_fine_group(self, jobs: list, fine: int, results: list) -> None:
@@ -680,10 +762,20 @@ class BatchedGridEngine:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Intern/memo pool sizes (diagnostics and tests)."""
+        """Intern/memo pool sizes and fast-policy counters (diagnostics/tests).
+
+        ``value_pool`` counts distinct operand *values* seen by the memos;
+        ``conv_capped``/``max_capped`` count how often the fast-policy
+        budgets actually bound a plan (always 0 in exact mode), and
+        ``fft_convs`` how many convolutions dispatched to the FFT kernel.
+        """
         return {
             "rv_pool": len(self._rv_pool),
             "add_memo": len(self._add_memo),
             "max_memo": len(self._max_memo),
             "resample_memo": len(self._resample_memo),
+            "value_pool": len(self._value_keys),
+            "conv_capped": self._conv_capped,
+            "max_capped": self._max_capped,
+            "fft_convs": self._fft_convs,
         }

@@ -47,12 +47,22 @@ class StochasticModel:
         Beta shape parameters (paper: 2 and 5).
     grid_n:
         Grid resolution for :meth:`rv` (paper used 64 points).
+    fast_conv:
+        Opt into the fast grid-algebra precision policy: the classical and
+        Dodin walks bound their intermediate convolution/maximum grids
+        proportionally to ``grid_n`` and dispatch large balanced
+        convolutions to an FFT kernel (see the precision-policy section of
+        :mod:`repro.stochastic.rv`).  The default ``False`` is the exact
+        mode, bit-identical to the frozen reference walks.  The duration
+        RVs built by :meth:`rv` are unaffected either way — only how the
+        analysis engines *combine* them changes.
     """
 
     ul: float = 1.1
     alpha: float = 2.0
     beta: float = 5.0
     grid_n: int = DEFAULT_GRID_SIZE
+    fast_conv: bool = False
 
     def __post_init__(self) -> None:
         if self.ul < 1.0:
@@ -79,6 +89,10 @@ class StochasticModel:
     def with_ul(self, ul: float) -> "StochasticModel":
         """Copy of this model with a different uncertainty level."""
         return replace(self, ul=ul)
+
+    def with_fast_conv(self, fast_conv: bool = True) -> "StochasticModel":
+        """Copy of this model with the fast precision policy toggled."""
+        return replace(self, fast_conv=fast_conv)
 
     # ------------------------------------------------------------------ #
     # closed-form moments

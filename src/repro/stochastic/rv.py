@@ -24,6 +24,33 @@ Convolutions are computed with :func:`numpy.convolve` at a common step: at
 these sizes the direct O(N²) product is faster than FFT *and* free of ringing
 (negative lobes), which matters because PDFs must stay non-negative.
 
+Precision policy (exact vs ``fast``)
+------------------------------------
+The common-step planner (:func:`_conv_grid_plan`) resolves the *finer* of
+the two operand steps, coarsening only past :data:`_MAX_CONV_POINTS` — so a
+narrow communication RV imposes its fine step on every wide partner and the
+intermediate grids of a dense-graph walk grow to ~16k points (the
+"convolution wall").  Every operation therefore has two modes:
+
+* **exact** (the default, and the oracle): the historical plan, bit-identical
+  to the frozen reference walks in :mod:`repro.analysis._reference`;
+* **fast** (``fast=True`` on :meth:`NumericRV.add` / :meth:`NumericRV.max_of`,
+  ``fast_conv=True`` on the model/engine/campaign layers): intermediate
+  resolution is *bounded* proportionally to the output grid —
+  convolution plans cap at ``_FAST_CONV_FACTOR·grid_n`` points and N-way
+  maximum fine grids at ``_FAST_MAX_FACTOR·grid_n`` — and convolutions whose
+  operands are both large dispatch to an FFT kernel (:func:`_fft_convolve`,
+  SciPy's ``scipy.fft`` when importable, :mod:`numpy.fft` otherwise; the
+  ~1e-13 ringing is clipped at zero).
+
+The fast mode is a documented approximation, not a drop-in: its error is
+*measured* against the exact oracle (``tests/analysis/test_fast_conv.py``
+asserts ``max |pdf_fast − pdf_exact|·dx ≤ 2e-2`` and per-metric deltas; see
+docs/performance.md for the measured bounds, ~5e-3 pdf sup-error and
+≤ 3 % relative on the §IV metrics at fig-6 shapes).  When no plan exceeds
+the caps and the FFT never fires, fast output equals exact output
+bit-for-bit.
+
 Atom accounting
 ---------------
 ``max_of`` with a point-mass operand that cuts a continuous distribution
@@ -60,6 +87,35 @@ DEFAULT_GRID_SIZE = 129
 
 #: Hard cap on intermediate convolution sizes to bound memory/time.
 _MAX_CONV_POINTS = 1 << 14
+
+#: Hard cap on the N-way maximum's shared fine grid (``max_of``).
+_MAX_FINE_POINTS = 8192
+
+#: Fast-mode resolution budget, in multiples of the output grid size:
+#: convolution plans cap at ``_FAST_CONV_FACTOR·grid_n`` points and maximum
+#: fine grids at ``_FAST_MAX_FACTOR·grid_n``.  Chosen by measurement (see
+#: docs/performance.md): 8×/16× keeps the §IV metric deltas ≤ ~3 % relative
+#: (makespan mean ≤ ~3e-4) at the fig-6 shapes while removing the ~16k-point
+#: intermediate grids that dominate dense-random walks.
+_FAST_CONV_FACTOR = 8
+_FAST_MAX_FACTOR = 16
+
+#: FFT dispatch threshold (fast mode only): the rfft round trip beats the
+#: direct O(N²) product once *both* operands reach this many points
+#: (measured crossover ≈ (512, 512) on the bench machine; direct wins at
+#: every asymmetric shape like (16384, 65) because the product is small).
+_FFT_MIN_OPERAND = 512
+
+try:  # SciPy's pocketfft plans composite sizes; optional dependency.
+    from scipy.fft import irfft as _irfft
+    from scipy.fft import next_fast_len as _next_fast_len
+    from scipy.fft import rfft as _rfft
+except ImportError:  # pragma: no cover - exercised on SciPy-less CI
+    _rfft, _irfft = np.fft.rfft, np.fft.irfft
+
+    def _next_fast_len(n: int) -> int:
+        """Next power of two ≥ n (numpy fallback for scipy's planner)."""
+        return 1 if n <= 1 else 1 << (n - 1).bit_length()
 
 #: Per-side probability mass dropped when trimming numerical tails.  After a
 #: long chain of sums the support widens like k while the density's effective
@@ -382,13 +438,14 @@ class NumericRV:
     __rmul__ = __mul__
 
     def add(
-        self, other: "NumericRV", grid_n: int | None = None
+        self, other: "NumericRV", grid_n: int | None = None, fast: bool = False
     ) -> "NumericRV":
         """Distribution of X + Y for independent X, Y.
 
-        The PDFs are brought to a common step and convolved directly; the
-        result is refit to ``grid_n`` points (default: the larger of the two
-        operand grids).
+        The PDFs are brought to a common step and convolved; the result is
+        refit to ``grid_n`` points (default: the larger of the two operand
+        grids).  ``fast`` opts into the bounded-resolution/FFT precision
+        policy (see the module docstring); the default is the exact plan.
         """
         if self.is_point:
             return other.shift(self.lo)
@@ -396,15 +453,19 @@ class NumericRV:
             return self.shift(other.lo)
         if grid_n is None:
             grid_n = max(len(self.xs), len(other.xs))
-        xs, pdf = _convolve(self.xs, self.pdf, other.xs, other.pdf)
+        max_points = _fast_conv_points(grid_n) if fast else _MAX_CONV_POINTS
+        xs, pdf = _convolve(
+            self.xs, self.pdf, other.xs, other.pdf,
+            max_points=max_points, fast=fast,
+        )
         xs, pdf = _trim_tails(xs, pdf)
         return NumericRV.from_pdf(xs, pdf, grid_n=grid_n)
 
     def maximum(
-        self, other: "NumericRV", grid_n: int | None = None
+        self, other: "NumericRV", grid_n: int | None = None, fast: bool = False
     ) -> "NumericRV":
         """Distribution of max(X, Y) for independent X, Y (CDF product)."""
-        return NumericRV.max_of([self, other], grid_n=grid_n)
+        return NumericRV.max_of([self, other], grid_n=grid_n, fast=fast)
 
     def sum_iid(self, k: int, grid_n: int | None = None) -> "NumericRV":
         """Distribution of the sum of ``k`` independent copies of X.
@@ -444,7 +505,11 @@ class NumericRV:
         return NumericRV.from_pdf(self.xs, self.pdf, grid_n=grid_n)
 
     @staticmethod
-    def max_of(rvs: "Iterable[NumericRV]", grid_n: int | None = None) -> "NumericRV":
+    def max_of(
+        rvs: "Iterable[NumericRV]",
+        grid_n: int | None = None,
+        fast: bool = False,
+    ) -> "NumericRV":
         """Maximum of several independent RVs.
 
         Computed as a *single* N-way CDF product on a shared fine grid —
@@ -456,6 +521,11 @@ class NumericRV:
         collapses onto it and is represented as extra density in the first
         grid cell (an approximation documented in DESIGN.md; it only occurs
         when a deterministic ready time cuts a finish distribution).
+
+        ``fast`` bounds the shared fine grid at the
+        :func:`_fast_max_points` budget instead of
+        :data:`_MAX_FINE_POINTS` (the fast precision policy; the existing
+        dx-based evaluation bound then holds at the coarser step).
         """
         rvs = list(rvs)
         if not rvs:
@@ -481,7 +551,8 @@ class NumericRV:
         # the union support — otherwise a tight distribution inside a wide
         # one is stepped over and its CDF contribution mangled.
         min_dx = min(rv.dx for rv in continuous)
-        fine = int(min(max(4 * grid_n, np.ceil((hi - lo) / min_dx) + 1), 8192))
+        fine_cap = _fast_max_points(grid_n) if fast else _MAX_FINE_POINTS
+        fine = int(min(max(4 * grid_n, np.ceil((hi - lo) / min_dx) + 1), fine_cap))
         xs = np.linspace(lo, hi, fine)
         f = np.ones(fine)
         for rv in continuous:
@@ -550,44 +621,124 @@ def _trim_tails(
     return xs[lo_idx : hi_idx + 1], pdf[lo_idx : hi_idx + 1]
 
 
+def _fast_conv_points(grid_n: int) -> int:
+    """Fast-mode convolution plan cap for an output grid of ``grid_n``."""
+    return min(_FAST_CONV_FACTOR * grid_n, _MAX_CONV_POINTS)
+
+
+def _fast_max_points(grid_n: int) -> int:
+    """Fast-mode ``max_of`` fine-grid cap for an output grid of ``grid_n``."""
+    return min(_FAST_MAX_FACTOR * grid_n, _MAX_FINE_POINTS)
+
+
 def _conv_grid_plan(
-    dx_a: float, width_a: float, dx_b: float, width_b: float
+    dx_a: float,
+    width_a: float,
+    dx_b: float,
+    width_b: float,
+    max_points: int = _MAX_CONV_POINTS,
 ) -> tuple[float, int, int]:
     """Common-step grid plan of :func:`_convolve`: ``(dx, n_a, n_b)``.
 
     The step is the finer of the two operand steps, coarsened when the
-    joint support would exceed :data:`_MAX_CONV_POINTS`.  Split out so the
-    batched engine plans with the identical arithmetic.
+    joint support would exceed ``max_points`` — :data:`_MAX_CONV_POINTS`
+    in exact mode, the :func:`_fast_conv_points` budget under the fast
+    precision policy.  Split out so the batched engine plans with the
+    identical arithmetic.
     """
     dx = min(dx_a, dx_b)
     n_out = (width_a + width_b) / dx
-    if n_out > _MAX_CONV_POINTS:
-        dx = (width_a + width_b) / _MAX_CONV_POINTS
+    if n_out > max_points:
+        dx = (width_a + width_b) / max_points
     n_a = max(int(np.ceil(width_a / dx)) + 1, 2)
     n_b = max(int(np.ceil(width_b / dx)) + 1, 2)
     return dx, n_a, n_b
 
 
+def _rescue_lost_operand(
+    xs: np.ndarray, pdf: np.ndarray, grid: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """Mass-preserving fallback when a conv grid undersamples an operand.
+
+    Under the fast policy the coarsened common step can exceed a narrow
+    operand's entire support; ``resample_pdf`` then sees the density only
+    at (or beyond) its support endpoints, where Beta-family pdfs vanish,
+    and the operand's mass is lost entirely — a fatal zero-mass
+    convolution.  At that resolution the operand *is* a point mass, so
+    represent it as the lever-rule split of unit mass over the two grid
+    points bracketing its mean: mass and mean are preserved, and the
+    error is bounded by the cell width like every other fast-policy
+    approximation.  Exact-mode plans always resolve the finer operand
+    step, so on the exact path ``y`` is never all-zero and this returns
+    it untouched (a zero-mass operand would previously have raised).
+    """
+    if y.any():
+        return y
+    dx = grid[1] - grid[0]
+    mean = float(np.trapezoid(xs * pdf, x=xs) / np.trapezoid(pdf, x=xs))
+    j = int(np.clip(np.searchsorted(grid, mean) - 1, 0, len(grid) - 2))
+    t = float(np.clip((mean - grid[j]) / dx, 0.0, 1.0))
+    out = np.zeros_like(y)
+    out[j] = (1.0 - t) / dx
+    out[j + 1] = t / dx
+    return out
+
+
+def _fft_convolve(ya: np.ndarray, yb: np.ndarray) -> np.ndarray:
+    """Full linear convolution of two sample vectors via real FFTs.
+
+    Equivalent to ``np.convolve(ya, yb)`` up to ~1e-13 ringing, which is
+    clipped at zero so densities stay non-negative.  Fast mode only — the
+    dispatch in :func:`_conv_kernel` keeps the exact path on the direct
+    product.
+    """
+    n_out = len(ya) + len(yb) - 1
+    nfft = _next_fast_len(n_out)
+    conv = _irfft(_rfft(ya, nfft) * _rfft(yb, nfft), nfft)[:n_out]
+    return np.maximum(conv, 0.0)
+
+
+def _conv_kernel(ya: np.ndarray, yb: np.ndarray, fast: bool = False) -> np.ndarray:
+    """Convolution kernel dispatch: direct product, or FFT under ``fast``.
+
+    The FFT only wins when *both* operands are large (the planner's capped
+    grids make the typical fast-mode product small, where the direct C
+    kernel stays ahead), so fast mode dispatches on
+    :data:`_FFT_MIN_OPERAND`.
+    """
+    if fast and min(len(ya), len(yb)) >= _FFT_MIN_OPERAND:
+        return _fft_convolve(ya, yb)
+    return np.convolve(ya, yb)
+
+
 def _convolve(
-    xs_a: np.ndarray, pdf_a: np.ndarray, xs_b: np.ndarray, pdf_b: np.ndarray
+    xs_a: np.ndarray,
+    pdf_a: np.ndarray,
+    xs_b: np.ndarray,
+    pdf_b: np.ndarray,
+    max_points: int = _MAX_CONV_POINTS,
+    fast: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Convolve two uniformly sampled PDFs, returning (xs, pdf) samples.
 
     Both inputs are resampled to a common step (the finer of the two, coarsened
-    if the joint support would exceed ``_MAX_CONV_POINTS``).
+    if the joint support would exceed ``max_points``).  ``fast`` enables the
+    FFT kernel dispatch (see :func:`_conv_kernel`).
     """
     dx_a = xs_a[1] - xs_a[0]
     dx_b = xs_b[1] - xs_b[0]
     width_a = xs_a[-1] - xs_a[0]
     width_b = xs_b[-1] - xs_b[0]
-    dx, n_a, n_b = _conv_grid_plan(dx_a, width_a, dx_b, width_b)
+    dx, n_a, n_b = _conv_grid_plan(
+        dx_a, width_a, dx_b, width_b, max_points=max_points
+    )
     # Both grids must share the *exact* same step for the convolution axis to
     # be consistent, so build them with arange (the last point may overshoot
     # the support slightly; the density is zero there).
     grid_a = xs_a[0] + dx * np.arange(n_a)
     grid_b = xs_b[0] + dx * np.arange(n_b)
-    ya = resample_pdf(xs_a, pdf_a, grid_a)
-    yb = resample_pdf(xs_b, pdf_b, grid_b)
-    conv = np.convolve(ya, yb) * dx
+    ya = _rescue_lost_operand(xs_a, pdf_a, grid_a, resample_pdf(xs_a, pdf_a, grid_a))
+    yb = _rescue_lost_operand(xs_b, pdf_b, grid_b, resample_pdf(xs_b, pdf_b, grid_b))
+    conv = _conv_kernel(ya, yb, fast=fast) * dx
     out_xs = (xs_a[0] + xs_b[0]) + dx * np.arange(len(conv))
     return out_xs, conv

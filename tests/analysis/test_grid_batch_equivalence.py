@@ -125,6 +125,29 @@ class TestClassicalEquivalence:
         # Interning: one object per duration value.
         assert engine.rv(7.25) is engine.rv(7.25)
 
+    def test_memo_hits_on_equal_content_distinct_objects(self):
+        """Value interning: memos key on content, not object identity."""
+        from repro.stochastic.rv import NumericRV
+
+        model = StochasticModel(ul=1.1)
+        engine = BatchedGridEngine(model)
+        a, b = model.rv(3.0), model.rv(5.0)
+        a2 = NumericRV(a.xs.copy(), a.pdf.copy(), atom=a.atom)
+        b2 = NumericRV(b.xs.copy(), b.pdf.copy(), atom=b.atom)
+        assert a2 is not a and b2 is not b
+        (r1,) = engine.add_pairs([(a, b)])
+        (r2,) = engine.add_pairs([(a2, b2)])
+        assert r1 is r2
+        (m1,) = engine.max_groups([[a, b]])
+        (m2,) = engine.max_groups([[a2, b2]])
+        assert m1 is m2
+        # Same-level dedup too: equal-content pairs collapse to one job.
+        eng2 = BatchedGridEngine(model)
+        res = eng2.add_pairs([(a, b), (a2, b2)])
+        assert res[0] is res[1]
+        assert eng2.stats["add_memo"] == 1
+        assert eng2.stats["value_pool"] >= 2
+
 
 class TestDodinEquivalence:
     @pytest.mark.parametrize("name,w", WORKLOADS, ids=[n for n, _ in WORKLOADS])

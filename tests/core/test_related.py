@@ -44,6 +44,18 @@ class TestRobustnessRadius:
         with pytest.raises(ValueError):
             robustness_radius(s, tolerance=1.0)
 
+    def test_zero_makespan_schedule_gets_max_inflation(self):
+        # Regression: bound = tolerance·0 = 0 used to make every candidate
+        # look infeasible and collapse the bracket to 0.  A zero-duration
+        # schedule stays at makespan 0 under any inflation, so the radius
+        # is the cap.
+        g = chain_dag(3, volume=0.0)
+        comp = np.zeros((3, 2))
+        w = Workload(g, Platform.uniform(2, tau=1.0, latency=0.0), comp)
+        s = Schedule.from_proc_orders(w, [0, 0, 0], [(0, 1, 2), ()])
+        assert s.makespan == 0.0
+        assert robustness_radius(s, tolerance=1.2, max_inflation=7.0) == 7.0
+
     def test_radius_is_makespan_blind_under_proportional_model(
         self, small_workload
     ):

@@ -85,7 +85,53 @@ class TestBatchedMonteCarlo:
                 solo.heuristic_metrics[name].makespan, rel=1e-2
             )
 
-    def test_mc_batch_ignored_for_analytic_methods(self, small_workload, model):
-        a = evaluate_case(small_workload, model, n_random=5, rng=9)
-        b = evaluate_case(small_workload, model, n_random=5, rng=9, mc_batch=True)
-        assert np.array_equal(a.panel.values, b.panel.values)
+    def test_mc_batch_rejected_for_analytic_methods(self, small_workload, model):
+        # Historically mc_batch=True was silently ignored for analytic
+        # methods, quietly running the slow per-schedule path.
+        with pytest.raises(ValueError, match="mc_batch"):
+            evaluate_case(small_workload, model, n_random=5, rng=9, mc_batch=True)
+        with pytest.raises(ValueError, match="mc_batch"):
+            evaluate_case(
+                small_workload, model, n_random=5, rng=9,
+                method="spelde", mc_batch=True,
+            )
+
+
+class TestSharedEngineAndFastConv:
+    def test_panel_matches_per_schedule_engines(self, small_workload, model):
+        """The case-wide shared engine is bit-identical to fresh engines."""
+        from repro.core.metrics import evaluate_schedule
+        from repro.schedule import ALL_HEURISTICS
+        from repro.schedule.random_schedule import random_schedules
+        from repro.util.rng import as_generator
+
+        for method in ("classical", "dodin"):
+            res = evaluate_case(
+                small_workload, model, n_random=5, rng=21, method=method
+            )
+            gen = as_generator(21)
+            solo = [
+                evaluate_schedule(s, model, method=method).as_array()
+                for s in random_schedules(small_workload, 5, gen)
+            ]
+            for hname in ("heft", "bil", "bmct"):
+                schedule = ALL_HEURISTICS[hname](small_workload)
+                solo.append(
+                    evaluate_schedule(schedule, model, method=method).as_array()
+                )
+            assert np.array_equal(res.panel.values, np.array(solo))
+
+    def test_fast_conv_smoke(self, small_workload, model):
+        res = evaluate_case(
+            small_workload, model, n_random=5, rng=22, fast_conv=True
+        )
+        assert res.panel.n_schedules == 8
+        assert np.isfinite(res.panel.values).all()
+
+    def test_fast_conv_rejected_for_non_grid_methods(self, small_workload, model):
+        for method in ("spelde", "montecarlo"):
+            with pytest.raises(ValueError, match="fast_conv"):
+                evaluate_case(
+                    small_workload, model, n_random=5, rng=23,
+                    method=method, fast_conv=True,
+                )
