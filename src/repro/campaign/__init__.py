@@ -2,8 +2,9 @@
 
 The campaign layer turns a figure/ablation specification into a list of
 self-contained :class:`CampaignCase` work units, dispatches them through a
-pluggable :class:`ExecutionBackend` (inline, local process pool, or the
-file-based shard/worker/merge protocol), and persists every finished case
+pluggable :class:`ExecutionBackend` (inline, local process pool, the
+file-based shard/worker/merge protocol, or the elastic pull-worker queue
+fleet), and persists every finished case
 as a content-addressed JSON artifact so interrupted or repeated campaigns
 skip completed work.  Per-case RNG seeds are derived from the case fields
 alone, so every backend — and a cache-warm replay — is bit-identical.
@@ -26,9 +27,19 @@ from repro.campaign.backend import (
     get_backend,
 )
 from repro.campaign.cache import ArtifactCache, CacheAudit, CacheStats
+from repro.campaign.queue import (
+    PoisonedShardError,
+    QueueBackend,
+    QueueConfig,
+    WorkQueue,
+    WorkerReport,
+    queue_worker,
+)
 from repro.campaign.runner import Campaign, CampaignStats, parallel_map
 from repro.campaign.shard import (
     MergeResult,
+    PartialOverlapError,
+    ShardAbort,
     ShardBackend,
     ShardManifest,
     ShardPartial,
@@ -49,13 +60,20 @@ __all__ = [
     "CaseContribution",
     "ExecutionBackend",
     "MergeResult",
+    "PartialOverlapError",
+    "PoisonedShardError",
     "ProcessPoolBackend",
+    "QueueBackend",
+    "QueueConfig",
     "SerialBackend",
+    "ShardAbort",
     "ShardBackend",
     "ShardManifest",
     "ShardPartial",
     "SuiteAggregate",
     "SuiteAggregator",
+    "WorkQueue",
+    "WorkerReport",
     "case_contribution",
     "contribution_from_payload",
     "contribution_to_payload",
@@ -64,6 +82,7 @@ __all__ = [
     "merge_partials",
     "parallel_map",
     "partition_cases",
+    "queue_worker",
     "run_shard",
     "suite_aggregate_to_payload",
 ]

@@ -68,7 +68,7 @@ _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 #: Backend specifiers understood by :func:`get_backend` (and the CLI).
-BACKEND_NAMES = ("serial", "process", "shard")
+BACKEND_NAMES = ("serial", "process", "shard", "queue")
 
 
 def _run_case_payload(case_dict: dict[str, Any]) -> str:
@@ -248,6 +248,8 @@ def get_backend(
     spec: "str | ExecutionBackend | None",
     jobs: int = 1,
     shards: int | None = None,
+    queue_dir: "Any | None" = None,
+    queue_config: "Any | None" = None,
 ) -> "ExecutionBackend":
     """Resolve a backend specifier into an :class:`ExecutionBackend`.
 
@@ -256,8 +258,11 @@ def get_backend(
     serial for ``jobs <= 1``, a process pool otherwise (which is what
     keeps every old ``jobs=`` call site working unchanged).
 
-    ``shards`` sizes the shard backend's partition (default: ``jobs``
-    when > 1, else 2).
+    ``shards`` sizes the shard and queue backends' partitions (default:
+    ``jobs`` when > 1, else 2).  ``queue_dir`` (a path) and
+    ``queue_config`` (a :class:`repro.campaign.queue.QueueConfig`) apply
+    only to the queue backend: a persistent queue directory enables
+    shard-level resume and external workers joining the fleet.
     """
     if spec is None:
         return SerialBackend() if jobs <= 1 else ProcessPoolBackend(jobs)
@@ -274,6 +279,16 @@ def get_backend(
         from repro.campaign.shard import ShardBackend
 
         return ShardBackend(n_shards=shards or max(jobs, 2), jobs=jobs)
+    if spec == "queue":
+        # Imported lazily: queue.py builds on this module too.
+        from repro.campaign.queue import QueueBackend
+
+        return QueueBackend(
+            n_shards=shards or max(jobs, 2),
+            jobs=jobs,
+            queue_dir=queue_dir,
+            config=queue_config,
+        )
     raise ValueError(
         f"unknown backend {spec!r}; expected one of {', '.join(BACKEND_NAMES)}"
     )

@@ -53,13 +53,20 @@ class CampaignStats:
     workers: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Queue-backend fleet health: shards requeued after a stale lease,
+    #: shards poisoned past the retry budget, replacement workers spawned.
+    requeued: int = 0
+    poisoned: int = 0
+    respawned: int = 0
 
     def summary(self) -> str:
         """One-line human summary for logs and reports.
 
         Includes the execution backend, its worker count and the cache
         hit/miss counts, so a report always says *where* its cases ran
-        and how much the artifact cache saved.
+        and how much the artifact cache saved; a queue-backed run also
+        reports its requeue/respawn/poison counts so injected or real
+        worker failures are visible in the log line.
         """
         parts = [f"{self.total} cases", f"{self.computed} computed", f"{self.cached} cached"]
         if self.corrupt_recovered:
@@ -69,6 +76,11 @@ class CampaignStats:
             line += (
                 f" [backend={self.backend}, workers={self.workers}, "
                 f"cache {self.cache_hits} hits / {self.cache_misses} misses]"
+            )
+        if self.requeued or self.poisoned or self.respawned:
+            line += (
+                f" [fleet: {self.requeued} requeued, "
+                f"{self.respawned} respawned, {self.poisoned} poisoned]"
             )
         return line
 
@@ -206,6 +218,11 @@ class Campaign:
             close = getattr(completed, "close", None)
             if close is not None:
                 close()
+            # Fleet-health counters maintained backend-side (the queue
+            # coordinator) surface into the campaign's stats line.
+            self.stats.requeued = getattr(backend, "requeued", 0)
+            self.stats.poisoned = getattr(backend, "poisoned", 0)
+            self.stats.respawned = getattr(backend, "respawned", 0)
 
 
 def parallel_map(

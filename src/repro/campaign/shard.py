@@ -69,6 +69,8 @@ from repro.util.tables import format_matrix, format_table
 
 __all__ = [
     "MergeResult",
+    "PartialOverlapError",
+    "ShardAbort",
     "ShardBackend",
     "ShardManifest",
     "ShardPartial",
@@ -77,6 +79,30 @@ __all__ = [
     "run_shard",
     "suite_key",
 ]
+
+
+class ShardAbort(RuntimeError):
+    """A shard worker must abandon its manifest mid-run.
+
+    Raised inside :func:`run_shard` when the ``progress`` callback returns
+    ``False`` — in the queue protocol, when the worker's lease heartbeat
+    fails because a reaper already requeued the shard.  Everything the
+    worker computed so far is persisted in the artifact cache, so the next
+    attempt resumes warm; the abort only means *this* worker stops
+    claiming the shard's completion.
+    """
+
+
+class PartialOverlapError(ValueError):
+    """Two shard partials claim the same suite contribution.
+
+    Raised by :func:`merge_partials` when partials with a matching
+    ``suite_key`` cover overlapping contribution indices or duplicate case
+    key (possible after a requeue race leaves partials from two different
+    — e.g. stale vs. repartitioned — runs in one directory).  Folding both
+    would double-count cases; the error names the colliding shards and
+    indices so the operator can delete the stale partial and re-merge.
+    """
 
 _MANIFEST_FORMAT = "repro-shard-manifest-v1"
 _PARTIAL_FORMAT = "repro-shard-partial-v1"
@@ -282,6 +308,7 @@ def run_shard(
     cache: ArtifactCache | pathlib.Path | str,
     jobs: int = 1,
     force: bool = False,
+    progress: Callable[[CampaignCase], bool] | None = None,
 ) -> ShardPartial:
     """Execute one shard against a cache directory (the worker step).
 
@@ -290,6 +317,12 @@ def run_shard(
     ``cache`` — so an interrupted worker resumes exactly like an
     interrupted campaign — and reduces each finished case to its
     suite-indexed :class:`CaseContribution`.
+
+    ``progress``, when given, is called after every finished case (the
+    queue protocol's heartbeat seam).  Returning ``False`` aborts the
+    shard with :class:`ShardAbort` — used by queue workers whose lease was
+    requeued out from under them; the artifacts already computed stay in
+    the cache for the next attempt.
     """
     from repro.campaign.runner import Campaign  # runner builds on backend
 
@@ -307,6 +340,12 @@ def run_shard(
     for local_index, case, result in campaign.iter_results():
         suite_index = indices[local_index]
         contributions[suite_index] = case_contribution(suite_index, case, result)
+        if progress is not None and not progress(case):
+            raise ShardAbort(
+                f"shard {manifest.shard_index} abandoned after "
+                f"{len(contributions)} case(s): progress callback reported "
+                "a lost lease"
+            )
     return ShardPartial(
         shard_index=manifest.shard_index,
         n_shards=manifest.n_shards,
@@ -383,11 +422,14 @@ def merge_partials(partials: Sequence[ShardPartial]) -> MergeResult:
 
     Validates that every partial belongs to the same suite partition
     (``suite_key``/``n_shards``/``suite_size``), that no shard appears
-    twice, and that the shards' case sets are disjoint — a duplicate case
-    key across shards raises a :class:`ValueError` naming the case rather
-    than double-counting it.  Contributions are then folded in suite-index
-    order through one :class:`SuiteAggregator`, which reproduces the
-    single-process fold bit-for-bit (see the module docstring).
+    twice, and that the shards' contribution sets are disjoint — a
+    duplicate case key *or* an overlapping contribution index across
+    shards raises :class:`PartialOverlapError` naming the colliding
+    shards rather than double-counting (the index check catches stale
+    partials from a requeue race even when their case keys differ).
+    Contributions are then folded in suite-index order through one
+    :class:`SuiteAggregator`, which reproduces the single-process fold
+    bit-for-bit (see the module docstring).
 
     A subset of shards merges fine (the aggregate is exact for the cases
     covered); :attr:`MergeResult.shards_present` reports the coverage.
@@ -397,6 +439,7 @@ def merge_partials(partials: Sequence[ShardPartial]) -> MergeResult:
     head = partials[0]
     seen_shards: set[int] = set()
     key_owner: dict[str, int] = {}
+    index_owner: dict[int, int] = {}
     for p in partials:
         if (p.suite_key, p.n_shards, p.suite_size) != (
             head.suite_key,
@@ -418,12 +461,22 @@ def merge_partials(partials: Sequence[ShardPartial]) -> MergeResult:
             )
         for case_key, contribution in zip(p.case_keys, p.contributions):
             if case_key in key_owner:
-                raise ValueError(
+                raise PartialOverlapError(
                     f"duplicate case key {case_key[:12]}… "
                     f"({contribution.name}) in shards "
                     f"{key_owner[case_key]} and {p.shard_index}"
                 )
             key_owner[case_key] = p.shard_index
+            if contribution.index in index_owner:
+                raise PartialOverlapError(
+                    f"contribution index {contribution.index} "
+                    f"({contribution.name}) claimed by both shard "
+                    f"{index_owner[contribution.index]} and shard "
+                    f"{p.shard_index} — likely a stale partial from a "
+                    "requeued or repartitioned run; delete the stale "
+                    "partial file and re-merge"
+                )
+            index_owner[contribution.index] = p.shard_index
 
     # Single ordered fold over all contributions — identical operation
     # sequence to a single-process run (ordered=False folds immediately;

@@ -59,10 +59,11 @@ completed cases), and never computes anything.
 
 Execution backends
 ------------------
-``--backend {serial,process,shard}`` selects where campaign cases run
-(default: serial for ``--jobs 1``, a local process pool otherwise).  The
-``shard`` backend rehearses the multi-machine protocol locally:
-``--shards N`` shard files, each executed by a subprocess worker.
+``--backend {serial,process,shard,queue}`` selects where campaign cases
+run (default: serial for ``--jobs 1``, a local process pool otherwise).
+The ``shard`` backend rehearses the multi-machine protocol locally:
+``--shards N`` shard files, each executed by a subprocess worker.  The
+``queue`` backend runs the elastic pull-worker fleet (see below).
 
 The protocol itself is driven by the ``campaign`` command group — the
 multi-machine path, where each step can run on a different host against a
@@ -75,6 +76,25 @@ shared (or per-host, later-merged) cache directory::
 
 ``campaign verify-cache --cache-dir DIR`` audits a cache directory for
 corrupt, orphaned or half-written artifacts without recomputing anything.
+
+The elastic queue fleet
+-----------------------
+Where ``campaign worker`` executes one *fixed* manifest, the queue path
+lets any number of workers **pull** shards from a shared queue directory —
+workers may join late, crash, or be replaced, and the suite still
+completes with byte-identical results::
+
+    repro-experiments campaign queue-init work/queue --scale paper --shards 8
+    repro-experiments campaign queue-worker work/queue --cache-dir cache/   # × N hosts
+    repro-experiments campaign queue-status work/queue
+    repro-experiments campaign merge work/queue/partials/partial-*.json
+
+Workers claim shards atomically (``O_EXCL`` claim files), heartbeat while
+running, and emit the same partials as ``campaign worker``; stale claims
+are requeued with bounded retries (then poisoned and reported).  The
+one-shot form ``fig6 --backend queue --jobs N --queue-dir DIR`` drives
+the whole fleet from one coordinator process (``--queue-lease`` /
+``--queue-max-attempts`` tune the reaper).
 """
 
 from __future__ import annotations
@@ -182,7 +202,32 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="shard count for --backend shard (default: --jobs, min 2)",
+        help="shard count for --backend shard/queue (default: --jobs, min 2)",
+    )
+    parser.add_argument(
+        "--queue-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="--backend queue: persistent work-queue directory (external "
+        "`campaign queue-worker` processes may join the fleet; shard-level "
+        "resume re-dispatches only shards with missing partials)",
+    )
+    parser.add_argument(
+        "--queue-lease",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="--backend queue: heartbeat lease — shards whose worker goes "
+        "silent this long are requeued (default: 60)",
+    )
+    parser.add_argument(
+        "--queue-max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="--backend queue: execution attempts per shard before it is "
+        "poisoned (default: 3)",
     )
     parser.add_argument(
         "--json",
@@ -239,11 +284,33 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be ≥ 1")
     if args.shards is not None and args.shards < 1:
         parser.error("--shards must be ≥ 1")
-    if args.shards is not None and args.backend != "shard":
-        parser.error("--shards only applies to --backend shard")
+    if args.shards is not None and args.backend not in ("shard", "queue"):
+        parser.error("--shards only applies to --backend shard/queue")
+    queue_knobs = (args.queue_dir, args.queue_lease, args.queue_max_attempts)
+    if any(k is not None for k in queue_knobs) and args.backend != "queue":
+        parser.error("--queue-* options only apply to --backend queue")
     scale = get_scale(args.scale)
+    queue_config = None
+    if args.queue_lease is not None or args.queue_max_attempts is not None:
+        from repro.campaign import QueueConfig
+
+        defaults = QueueConfig()
+        queue_config = QueueConfig(
+            lease_seconds=args.queue_lease
+            if args.queue_lease is not None
+            else defaults.lease_seconds,
+            max_attempts=args.queue_max_attempts
+            if args.queue_max_attempts is not None
+            else defaults.max_attempts,
+        )
     backend = (
-        get_backend(args.backend, jobs=args.jobs, shards=args.shards)
+        get_backend(
+            args.backend,
+            jobs=args.jobs,
+            shards=args.shards,
+            queue_dir=args.queue_dir,
+            queue_config=queue_config,
+        )
         if args.backend is not None
         else None
     )
@@ -322,11 +389,12 @@ def main(argv: list[str] | None = None) -> int:
 
 # ---------------------------------------------------------------------- #
 # the `campaign` command group: shard / worker / merge / verify-cache
+# plus the queue fleet: queue-init / queue-worker / queue-status
 # ---------------------------------------------------------------------- #
 
 
 def _campaign_main(argv: list[str]) -> int:
-    """The ``campaign`` command group: the shard/worker/merge protocol."""
+    """The ``campaign`` command group: shard/worker/merge + queue fleet."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments campaign",
         description="Shard a campaign across workers/machines and merge "
@@ -379,6 +447,75 @@ def _campaign_main(argv: list[str]) -> int:
         metavar="OUT",
         help="also dump the merged aggregate as canonical JSON",
     )
+
+    p_qinit = sub.add_parser(
+        "queue-init",
+        help="partition the fig6 suite onto a work-queue directory",
+    )
+    p_qinit.add_argument("queue_dir", type=pathlib.Path)
+    p_qinit.add_argument(
+        "--scale", default=None, choices=["quick", "default", "paper"]
+    )
+    p_qinit.add_argument("--seed", type=int, default=20070913)
+    p_qinit.add_argument("--shards", type=int, default=2, metavar="N")
+    p_qinit.add_argument(
+        "--fast-conv",
+        action="store_true",
+        help="enqueue the fast-precision-policy variant of the suite",
+    )
+
+    p_qworker = sub.add_parser(
+        "queue-worker",
+        help="pull and execute shards from a work queue until it completes",
+    )
+    p_qworker.add_argument("queue_dir", type=pathlib.Path)
+    p_qworker.add_argument(
+        "--cache-dir", type=pathlib.Path, required=True, metavar="DIR"
+    )
+    p_qworker.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="stable worker name for claims/logs (default: worker-<pid>)",
+    )
+    p_qworker.add_argument("--force", action="store_true")
+    p_qworker.add_argument(
+        "--lease", type=float, default=60.0, metavar="SEC",
+        help="heartbeat lease before a claim counts as stale (default: 60)",
+    )
+    p_qworker.add_argument(
+        "--poll", type=float, default=0.5, metavar="SEC",
+        help="idle scan interval (default: 0.5)",
+    )
+    p_qworker.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="attempts per shard before poisoning (default: 3)",
+    )
+    p_qworker.add_argument(
+        "--backoff", type=float, default=1.0, metavar="SEC",
+        help="base of the exponential requeue backoff (default: 1)",
+    )
+    p_qworker.add_argument(
+        "--no-reap",
+        action="store_true",
+        help="never requeue stale claims from this worker (a coordinator "
+        "owns the reaper)",
+    )
+    p_qworker.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after completing one shard",
+    )
+    p_qworker.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="exit when nothing is claimable instead of polling until the "
+        "queue completes",
+    )
+
+    p_qstatus = sub.add_parser(
+        "queue-status",
+        help="report a work queue's task states and poisoned shards",
+    )
+    p_qstatus.add_argument("queue_dir", type=pathlib.Path)
 
     p_verify = sub.add_parser(
         "verify-cache",
@@ -458,6 +595,72 @@ def _campaign_main(argv: list[str]) -> int:
         if args.json is not None:
             _write_aggregate_json(args.json, merged.aggregate)
         return 0
+
+    if args.cmd == "queue-init":
+        if args.shards < 1:
+            parser.error("--shards must be ≥ 1")
+        from repro.campaign import WorkQueue
+
+        scale = get_scale(args.scale)
+        cases = expand_suite(
+            default_suite(), scale, base_seed=args.seed,
+            fast_conv=args.fast_conv,
+        )
+        manifests = [
+            m
+            for m in partition_cases(list(enumerate(cases)), args.shards)
+            if m.cases
+        ]
+        queue = WorkQueue(args.queue_dir)
+        try:
+            new, done = queue.enqueue(manifests)
+        except ValueError as exc:
+            parser.error(str(exc))
+        print(
+            f"[queue {args.queue_dir}: {new} shard(s) enqueued, {done} "
+            f"already done — suite {manifests[0].suite_key[:12]}…, "
+            f"{len(cases)} cases (scale={scale.name}, seed={args.seed})]"
+        )
+        print(f"[{queue.status().render()}]")
+        return 0
+
+    if args.cmd == "queue-worker":
+        from repro.campaign import QueueConfig, WorkQueue, queue_worker
+
+        config = QueueConfig(
+            lease_seconds=args.lease,
+            poll_seconds=args.poll,
+            max_attempts=args.max_attempts,
+            backoff_seconds=args.backoff,
+        )
+        queue = WorkQueue(args.queue_dir, config)
+        report = queue_worker(
+            queue,
+            args.cache_dir,
+            worker_id=args.worker_id,
+            force=args.force,
+            reap=not args.no_reap,
+            once=args.once,
+            wait=not args.no_wait,
+        )
+        print(report.render())
+        print(f"[{queue.status().render()}]")
+        return 0
+
+    if args.cmd == "queue-status":
+        from repro.campaign import WorkQueue
+
+        if not args.queue_dir.is_dir():
+            parser.error(f"queue directory {args.queue_dir} does not exist")
+        queue = WorkQueue(args.queue_dir)
+        status = queue.status()
+        print(f"[{args.queue_dir}: {status.render()}]")
+        for task_id, report in queue.poisoned().items():
+            print(
+                f"  poisoned: {task_id} after {report.get('attempts', '?')} "
+                f"attempt(s) — {report.get('reason', 'unknown')}"
+            )
+        return 0 if status.poisoned == 0 else 1
 
     # verify-cache
     if not args.cache_dir.is_dir():

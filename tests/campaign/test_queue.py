@@ -1,0 +1,326 @@
+"""The work-queue protocol: claims, leases, reaper, worker, backend."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.campaign import (
+    ArtifactCache,
+    Campaign,
+    PoisonedShardError,
+    QueueBackend,
+    QueueConfig,
+    WorkQueue,
+    expand_suite,
+    merge_partials,
+    partition_cases,
+    queue_worker,
+    run_shard,
+)
+from repro.campaign.queue import FaultSpec
+from repro.io.json_io import case_result_to_json
+
+from tests.campaign.faultlib import make_injector
+from tests.campaign.test_shard import SPECS, TINY, _indexed_cases
+
+FAST = QueueConfig(
+    lease_seconds=2.0, poll_seconds=0.05, max_attempts=3, backoff_seconds=0.0
+)
+
+
+def _enqueued(tmp_path, n_shards=3, name="queue"):
+    """A queue directory with the tiny suite partitioned onto it."""
+    queue = WorkQueue(tmp_path / name, FAST)
+    manifests = [
+        m for m in partition_cases(_indexed_cases(), n_shards) if m.cases
+    ]
+    queue.enqueue(manifests)
+    return queue, manifests
+
+
+class TestQueueProtocol:
+    def test_init_is_idempotent(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q")
+        queue.init()
+        queue.init()
+        assert queue.tasks_dir.is_dir() and queue.claims_dir.is_dir()
+
+    def test_enqueue_reports_new_and_done(self, tmp_path):
+        queue, manifests = _enqueued(tmp_path)
+        assert queue.task_ids() == sorted(
+            m.filename[: -len(".json")] for m in manifests
+        )
+        # Re-enqueue: nothing done yet, every task rewritten harmlessly.
+        new, done = queue.enqueue(manifests)
+        assert (new, done) == (len(manifests), 0)
+
+    def test_enqueue_rejects_foreign_suite(self, tmp_path):
+        queue, _ = _enqueued(tmp_path)
+        other = expand_suite(SPECS, TINY, base_seed=99)
+        foreign = [
+            m for m in partition_cases(list(enumerate(other)), 3) if m.cases
+        ]
+        with pytest.raises(ValueError, match="already holds suite"):
+            queue.enqueue(foreign)
+
+    def test_claim_is_exclusive(self, tmp_path):
+        queue, manifests = _enqueued(tmp_path)
+        task = queue.task_ids()[0]
+        assert queue.claim(task, "a")
+        assert not queue.claim(task, "b")
+        claim = json.loads(queue.claim_path(task).read_text())
+        assert claim["worker"] == "a"
+        assert claim["attempt"] == 1
+
+    def test_heartbeat_reports_lost_lease(self, tmp_path):
+        queue, _ = _enqueued(tmp_path)
+        task = queue.task_ids()[0]
+        assert queue.claim(task, "a")
+        assert queue.heartbeat(task)
+        queue.claim_path(task).unlink()
+        assert not queue.heartbeat(task)
+
+    def test_reaper_spares_fresh_and_retires_stale(self, tmp_path):
+        queue, _ = _enqueued(tmp_path)
+        a, b = queue.task_ids()[:2]
+        queue.claim(a, "fresh")
+        queue.claim(b, "dead")
+        stale = time.time() - 10.0
+        os.utime(queue.claim_path(b), (stale, stale))
+        events = queue.requeue_stale()
+        assert [(e.task_id, e.action, e.attempt) for e in events] == [
+            (b, "requeued", 1)
+        ]
+        assert queue.claim_path(a).exists()
+        assert not queue.claim_path(b).exists()
+        assert queue.attempts(b) == 1
+
+    def test_reaper_cleans_claims_of_finished_shards(self, tmp_path):
+        queue, manifests = _enqueued(tmp_path)
+        manifest = manifests[0]
+        task = manifest.filename[: -len(".json")]
+        queue.claim(task, "slow")
+        partial = run_shard(manifest, ArtifactCache(tmp_path / "cache"))
+        partial.write(queue.partials_dir)
+        events = queue.requeue_stale()
+        assert [(e.task_id, e.action) for e in events] == [(task, "cleaned")]
+        assert not queue.claim_path(task).exists()
+        assert queue.attempts(task) == 0  # cleaning is not a failure
+
+    def test_poisoned_after_max_attempts(self, tmp_path):
+        queue, _ = _enqueued(tmp_path)
+        task = queue.task_ids()[0]
+        events = []
+        for _ in range(FAST.max_attempts):
+            queue.claim(task, "crashy")
+            events.append(queue.fail(task, "injected"))
+        assert [e.action for e in events] == ["requeued", "requeued", "poisoned"]
+        assert queue.is_poisoned(task)
+        assert not queue.claimable(task)
+        report = queue.poisoned()[task]
+        assert report["attempts"] == FAST.max_attempts
+        assert report["reason"] == "injected"
+        assert queue.status().poisoned == 1
+
+    def test_requeue_backoff_gates_claimability(self, tmp_path):
+        queue = WorkQueue(
+            tmp_path / "q",
+            QueueConfig(lease_seconds=2.0, backoff_seconds=30.0),
+        )
+        manifests = [
+            m for m in partition_cases(_indexed_cases(), 3) if m.cases
+        ]
+        queue.enqueue(manifests)
+        task = queue.task_ids()[0]
+        assert queue.claimable(task)
+        queue.claim(task, "a")
+        queue.fail(task, "boom")
+        now = time.time()
+        assert not queue.claimable(task, now=now)
+        assert queue.claimable(task, now=now + 31.0)
+
+    def test_fault_spec_parsing(self):
+        spec = FaultSpec.parse("kill-worker:2@w1")
+        assert (spec.kind, spec.after_cases, spec.worker) == (
+            "kill-worker", 2, "w1",
+        )
+        assert FaultSpec.parse("sleep-case:0.5").seconds == 0.5
+        assert FaultSpec.parse("drop-partial").worker is None
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec.parse("set-fire-to-the-rack")
+
+
+class TestQueueWorker:
+    def test_single_worker_drains_queue_and_merge_matches_serial(
+        self, tmp_path
+    ):
+        indexed = _indexed_cases()
+        serial_cache = ArtifactCache(tmp_path / "serial")
+        serial = Campaign([c for _, c in indexed], cache=serial_cache)
+        serial_results = serial.run()
+
+        queue, _ = _enqueued(tmp_path)
+        report = queue_worker(
+            queue, tmp_path / "qcache", "w0", env_faults=False
+        )
+        assert report.completed == len(queue.task_ids())
+        assert report.computed == len(indexed)
+        assert queue.is_complete()
+        merged = merge_partials(queue.partials())
+        assert _payload(merged.aggregate) == _serial_aggregate(
+            indexed, serial_results
+        )
+        # Artifact bytes identical to the serial run's, file for file.
+        names = [p.name for p in (tmp_path / "serial").glob("*.json")]
+        assert len(names) == len(indexed)
+        for name in names:
+            assert (tmp_path / "qcache" / name).read_bytes() == (
+                tmp_path / "serial" / name
+            ).read_bytes()
+
+    def test_resume_redispatches_only_missing_partials(self, tmp_path):
+        queue, manifests = _enqueued(tmp_path)
+        queue_worker(queue, tmp_path / "cache", "w0", env_faults=False)
+        victim = queue.task_ids()[0]
+        queue.partial_path(victim).unlink()
+        # Re-enqueue (the resume step) reports the still-done shards…
+        new, done = queue.enqueue(manifests)
+        assert (new, done) == (1, len(manifests) - 1)
+        # …and a fresh worker only touches the missing shard, from cache.
+        report = queue_worker(
+            queue, tmp_path / "cache", "w1", env_faults=False
+        )
+        assert (report.claimed, report.completed) == (1, 1)
+        assert report.computed == 0  # warm cache: nothing recomputed
+        assert report.cached > 0
+        assert queue.is_complete()
+
+    def test_lost_lease_aborts_shard_then_next_attempt_completes(
+        self, tmp_path
+    ):
+        queue, _ = _enqueued(tmp_path, n_shards=1)
+        task = queue.task_ids()[0]
+
+        class Saboteur:
+            """Injector stub that steals the lease once, mid-first-attempt."""
+
+            suppress_heartbeat = False
+            fired = False
+
+            def on_claimed(self, task_id):
+                pass
+
+            def on_case_done(self, task_id, n_done):
+                if not self.fired:
+                    self.fired = True
+                    queue.claim_path(task_id).unlink()
+
+            def on_before_partial(self, task_id):
+                pass
+
+        report = queue_worker(
+            queue,
+            tmp_path / "cache",
+            "w0",
+            injector=Saboteur(),
+            env_faults=False,
+        )
+        # First attempt aborted without a partial; the (same) worker's
+        # second claim finished the shard from the warm artifact cache.
+        assert report.lost_lease == 1
+        assert report.completed == 1
+        assert report.claimed == 2
+        assert queue.has_partial(task)
+
+    def test_worker_reports_failure_and_requeues(self, tmp_path):
+        queue, _ = _enqueued(tmp_path)
+        task = queue.task_ids()[0]
+        # Corrupt one manifest: the worker must fail it (tombstone), not die.
+        queue.task_path(task).write_text("{not json")
+        report = queue_worker(
+            queue, tmp_path / "cache", "w0", wait=False, env_faults=False
+        )
+        assert report.failed >= 1
+        assert queue.attempts(task) >= 1
+
+
+class TestQueueBackend:
+    def test_inline_backend_matches_serial_bitwise(self, tmp_path):
+        indexed = _indexed_cases()
+        cases = [c for _, c in indexed]
+        expected = [case_result_to_json(r) for r in Campaign(cases).run()]
+        campaign = Campaign(
+            cases,
+            cache=ArtifactCache(tmp_path / "cache"),
+            backend=QueueBackend(n_shards=3, jobs=1, config=FAST),
+        )
+        got = [case_result_to_json(r) for r in campaign.run()]
+        assert got == expected
+        stats = campaign.stats
+        assert (stats.backend, stats.total, stats.computed) == (
+            "queue", len(cases), len(cases),
+        )
+        assert (stats.requeued, stats.poisoned, stats.respawned) == (0, 0, 0)
+
+    def test_persistent_queue_dir_resumes(self, tmp_path):
+        indexed = _indexed_cases()
+        cases = [c for _, c in indexed]
+        cache = ArtifactCache(tmp_path / "cache")
+        backend = QueueBackend(
+            n_shards=3, jobs=1, queue_dir=tmp_path / "q", config=FAST
+        )
+        Campaign(cases, cache=cache, backend=backend).run()
+        queue = WorkQueue(tmp_path / "q", FAST)
+        assert queue.is_complete()
+        # Second run over the same queue dir: partials already present,
+        # every case replayed from the shared artifact cache.
+        campaign = Campaign(cases, cache=cache, backend=backend)
+        campaign.run()
+        assert campaign.stats.computed == 0
+        assert campaign.stats.cached == len(cases)
+
+    def test_poisoned_queue_raises_named_error(self, tmp_path):
+        indexed = _indexed_cases()
+        cases = [c for _, c in indexed]
+        queue_dir = tmp_path / "q"
+        backend = QueueBackend(
+            n_shards=2,
+            jobs=1,
+            queue_dir=queue_dir,
+            config=QueueConfig(
+                lease_seconds=2.0, poll_seconds=0.05, max_attempts=1
+            ),
+        )
+        backend.configure(ArtifactCache(tmp_path / "cache"), False)
+        backend.submit(list(enumerate(cases)))
+        # Poison every shard up front: the fleet has nothing left to try.
+        queue = WorkQueue(queue_dir, backend.config)
+        manifests = [m for m in partition_cases(indexed, 2) if m.cases]
+        queue.enqueue(manifests)
+        for task in queue.task_ids():
+            queue.claim(task, "doomed")
+            queue.fail(task, "pre-poisoned by test")
+        with pytest.raises(PoisonedShardError, match="poisoned") as err:
+            list(backend.as_completed())
+        assert set(err.value.reports) == set(queue.task_ids())
+
+    def test_backend_validates_n_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            QueueBackend(n_shards=0)
+
+
+def _payload(aggregate):
+    from repro.campaign import suite_aggregate_to_payload
+
+    return suite_aggregate_to_payload(aggregate)
+
+
+def _serial_aggregate(indexed, results):
+    from repro.campaign import SuiteAggregator, case_contribution
+
+    aggregator = SuiteAggregator(ordered=False)
+    for (index, case), result in zip(indexed, results):
+        aggregator.add(case_contribution(index, case, result))
+    return _payload(aggregator.finalize())

@@ -193,6 +193,32 @@ class TestWorkerAndMerge:
         with pytest.raises(ValueError, match="duplicate case key"):
             merge_partials([partial, twin])
 
+    def test_merge_rejects_overlapping_contribution_indices(self, tmp_path):
+        # A requeue race can leave a stale partial whose *case keys*
+        # differ (e.g. a fast-conv variant or recomputed keys) but whose
+        # contribution indices collide with another shard's — folding
+        # both would double-count.  The error must be named and
+        # actionable, raised before any folding happens.
+        from repro.campaign import PartialOverlapError
+
+        manifest = partition_cases(_indexed_cases(), 1)[0]
+        partial = run_shard(manifest, tmp_path / "cache")
+        stale = ShardPartial(
+            shard_index=0 if partial.shard_index else 1,
+            n_shards=partial.n_shards,
+            suite_key=partial.suite_key,
+            suite_size=partial.suite_size,
+            contributions=partial.contributions[:1],
+            case_keys=("0" * 64,),  # foreign key, same suite index
+        )
+        with pytest.raises(
+            PartialOverlapError, match="contribution index"
+        ) as err:
+            merge_partials([partial, stale])
+        message = str(err.value)
+        assert "stale partial" in message  # remediation hint
+        assert isinstance(err.value, ValueError)  # backwards compatible
+
     def test_merge_rejects_same_shard_twice(self, tmp_path):
         manifest = partition_cases(_indexed_cases(), 1)[0]
         partial = run_shard(manifest, tmp_path / "cache")
