@@ -26,8 +26,15 @@ from repro.campaign.backend import (
     SerialBackend,
     get_backend,
 )
-from repro.campaign.cache import ArtifactCache, CacheAudit, CacheStats
+from repro.campaign.cache import (
+    ArtifactCache,
+    CacheAudit,
+    CacheIndex,
+    CacheStats,
+)
 from repro.campaign.queue import (
+    FaultInjector,
+    FaultSpec,
     PoisonedShardError,
     QueueBackend,
     QueueConfig,
@@ -53,12 +60,15 @@ __all__ = [
     "ArtifactCache",
     "BACKEND_NAMES",
     "CacheAudit",
+    "CacheIndex",
     "CacheStats",
     "Campaign",
     "CampaignCase",
     "CampaignStats",
     "CaseContribution",
     "ExecutionBackend",
+    "FaultInjector",
+    "FaultSpec",
     "MergeResult",
     "PartialOverlapError",
     "PoisonedShardError",

@@ -79,6 +79,7 @@ from repro.campaign.shard import (
     ShardPartial,
     partition_cases,
     run_shard,
+    suite_key,
 )
 from repro.campaign.spec import CampaignCase
 from repro.core.study import CaseResult
@@ -107,7 +108,11 @@ FAULT_ENV = "REPRO_QUEUE_FAULT"
 START_BARRIER_ENV = "REPRO_QUEUE_START_BARRIER"
 
 _TASK_STEM = re.compile(r"^shard-(\d+)-of-(\d+)$")
+#: Single-case task ids (the service miss path): ``case-<key prefix>``.
+_CASE_STEM = re.compile(r"^case-([0-9a-f]{12,64})$")
 _BACKOFF_CAP = 60.0
+#: Max fraction the deterministic per-task jitter adds to a requeue delay.
+_BACKOFF_JITTER = 0.25
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -189,6 +194,7 @@ class WorkerReport:
     completed: int = 0
     failed: int = 0
     lost_lease: int = 0
+    released: int = 0
     computed: int = 0
     cached: int = 0
 
@@ -197,8 +203,8 @@ class WorkerReport:
         return (
             f"[worker {self.worker_id}: claimed={self.claimed} "
             f"completed={self.completed} failed={self.failed} "
-            f"lost_lease={self.lost_lease} computed={self.computed} "
-            f"cached={self.cached}]"
+            f"lost_lease={self.lost_lease} released={self.released} "
+            f"computed={self.computed} cached={self.cached}]"
         )
 
 
@@ -309,9 +315,14 @@ class WorkQueue:
     def partial_path(self, task_id: str) -> pathlib.Path:
         """Canonical partial file of ``task_id`` (exists once done)."""
         m = _TASK_STEM.match(task_id)
-        if m is None:
-            raise ValueError(f"not a queue task id: {task_id!r}")
-        return self.partials_dir / f"partial-{m.group(1)}-of-{m.group(2)}.json"
+        if m is not None:
+            return (
+                self.partials_dir
+                / f"partial-{m.group(1)}-of-{m.group(2)}.json"
+            )
+        if _CASE_STEM.match(task_id):
+            return self.partials_dir / f"partial-{task_id}.json"
+        raise ValueError(f"not a queue task id: {task_id!r}")
 
     def poison_path(self, task_id: str) -> pathlib.Path:
         """Poison-report file of ``task_id``."""
@@ -330,7 +341,7 @@ class WorkQueue:
         """
         self.init()
         manifests = list(manifests)
-        existing = self.task_ids()
+        existing = [t for t in self.task_ids() if _TASK_STEM.match(t)]
         if existing and manifests:
             head = ShardManifest.read(self.task_path(existing[0]))
             for m in manifests:
@@ -351,13 +362,44 @@ class WorkQueue:
             new += 1
         return new, done
 
+    def enqueue_case(self, case: CampaignCase, suite_index: int = 0) -> str:
+        """Enqueue one single-case task (the service miss path).
+
+        Returns the task id ``case-<key prefix>``.  The task is a
+        one-shard :class:`ShardManifest` holding exactly ``case``, so the
+        regular pull workers execute it through the normal claim /
+        heartbeat / complete lifecycle with no special-casing.  Idempotent:
+        re-enqueueing an open task rewrites its manifest byte-identically,
+        and a task whose partial already landed is left alone.  Case tasks
+        coexist with shard tasks on the same queue (each carries its own
+        single-case suite key, so they never collide with a suite's
+        ``shard-N-of-M`` namespace).
+        """
+        self.init()
+        task_id = f"case-{case.key[:12]}"
+        if self.has_partial(task_id):
+            return task_id
+        manifest = ShardManifest(
+            shard_index=0,
+            n_shards=1,
+            suite_key=suite_key([(suite_index, case)]),
+            suite_size=1,
+            cases=((suite_index, case),),
+        )
+        path = self.task_path(task_id)
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(canonical_json(manifest.to_payload()))
+        os.replace(tmp, path)
+        return task_id
+
     def task_ids(self) -> list[str]:
-        """Sorted ids of every enqueued task."""
+        """Sorted ids of every enqueued task (shard and single-case)."""
         try:
             return sorted(
                 p.stem
                 for p in self.tasks_dir.iterdir()
-                if p.suffix == ".json" and _TASK_STEM.match(p.stem)
+                if p.suffix == ".json"
+                and (_TASK_STEM.match(p.stem) or _CASE_STEM.match(p.stem))
             )
         except OSError:
             return []
@@ -386,22 +428,38 @@ class WorkQueue:
             return 0
 
     def ready_at(self, task_id: str) -> float:
-        """Earliest epoch time the task may be claimed (requeue backoff)."""
-        n = self.attempts(task_id)
-        if n == 0:
-            return 0.0
+        """Earliest epoch time the task may be claimed (requeue backoff).
+
+        The delay is ``backoff * 2**(n-1)`` (capped at 60 s) plus a
+        deterministic jitter of up to 25 % derived from the task id and
+        attempt count — N workers eyeing the same retired claim spread
+        out instead of thundering-herding the queue directory, yet every
+        process computes the identical ready time (the fault harness
+        stays reproducible).  A tombstone that vanishes between the
+        directory scan and its ``stat`` was retired by a concurrent
+        cleanup — it is simply skipped.
+        """
+        mtimes: list[float] = []
+        n = 0
         try:
-            latest = max(
-                p.stat().st_mtime
-                for p in self.attempts_dir.iterdir()
-                if p.name.startswith(f"{task_id}.attempt-")
-            )
-        except (OSError, ValueError):
+            entries = list(self.attempts_dir.iterdir())
+        except OSError:
+            return 0.0
+        for p in entries:
+            if not p.name.startswith(f"{task_id}.attempt-"):
+                continue
+            n += 1
+            try:
+                mtimes.append(p.stat().st_mtime)
+            except OSError:
+                continue  # vanished mid-scan: retired elsewhere
+        if n == 0 or not mtimes:
             return 0.0
         delay = min(
             self.config.backoff_seconds * (2.0 ** (n - 1)), _BACKOFF_CAP
         )
-        return latest + delay
+        frac = zlib.crc32(f"{task_id}:{n}".encode()) / 0xFFFFFFFF
+        return max(mtimes) + delay * (1.0 + _BACKOFF_JITTER * frac)
 
     def claimable(self, task_id: str, now: float | None = None) -> bool:
         """Whether a worker may try to claim ``task_id`` right now."""
@@ -470,11 +528,18 @@ class WorkQueue:
     def complete(self, task_id: str, partial: ShardPartial) -> pathlib.Path:
         """Mark the task done: write its partial, release the claim.
 
-        The partial write is atomic under the canonical name, so a
-        duplicated completion (stale worker + requeued worker) resolves
-        to last-write-wins with an equivalent aggregate contribution.
+        The partial write is atomic under the task's canonical partial
+        name (``partial_path``), so a duplicated completion (stale worker
+        + requeued worker) resolves to last-write-wins with an equivalent
+        aggregate contribution.  Writing at ``partial_path`` — rather than
+        the partial's own suite-relative name — keeps single-case tasks
+        from colliding in the shared ``partials/`` namespace.
         """
-        path = partial.write(self.partials_dir)
+        path = self.partial_path(task_id)
+        self.partials_dir.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        tmp.write_text(canonical_json(partial.to_payload()))
+        os.replace(tmp, path)
         self.release(task_id)
         return path
 
@@ -581,11 +646,23 @@ class WorkQueue:
         return reports
 
     def partials(self) -> list[ShardPartial]:
-        """Load every partial currently on the queue (sorted by shard)."""
-        return [
-            ShardPartial.read(p)
-            for p in sorted(self.partials_dir.glob("partial-*.json"))
-        ]
+        """Load every partial currently on the queue (sorted by name).
+
+        A partial that vanishes between the directory listing and its
+        read (an external cleanup racing this scan) is skipped — the task
+        it belonged to is simply done-elsewhere.
+        """
+        out: list[ShardPartial] = []
+        try:
+            paths = sorted(self.partials_dir.glob("partial-*.json"))
+        except OSError:
+            return out
+        for p in paths:
+            try:
+                out.append(ShardPartial.read(p))
+            except FileNotFoundError:
+                continue
+        return out
 
     def status(self) -> QueueStatus:
         """Count the tasks in each state."""
@@ -634,6 +711,19 @@ class FaultSpec:
     * ``sleep-case:S`` — sleep ``S`` seconds after every case (pacing for
       the faults above; not one-shot).
 
+    Service-scoped kinds (fired at :mod:`repro.service` seams):
+
+    * ``slow-cache-read:S`` — sleep ``S`` seconds before every cache
+      lookup the service performs (not one-shot; exercises per-request
+      timeouts);
+    * ``torn-index`` — truncate the cache index file in place right
+      before the service refreshes its snapshot (the reader must degrade
+      to a scan + rebuild, never error);
+    * ``backend-hang:S`` — sleep ``S`` seconds inside the first miss
+      enqueue (exercises the request deadline / retry path);
+    * ``shed-storm:N`` — force the admission gate to shed the next ``N``
+      requests with 429s (exercises the load-shedding contract).
+
     ``@worker_id`` scopes a spec to one worker.  Every one-shot spec fires
     at most once per *queue* (an ``O_EXCL`` marker under ``faults/``), so
     a respawned or competing worker never re-fires it.
@@ -650,7 +740,13 @@ class FaultSpec:
         "stale-heartbeat",
         "corrupt-claim",
         "sleep-case",
+        "slow-cache-read",
+        "torn-index",
+        "backend-hang",
+        "shed-storm",
     )
+    _COUNT_ARG = ("kill-worker", "shed-storm")
+    _SECONDS_ARG = ("sleep-case", "slow-cache-read", "backend-hang")
 
     @classmethod
     def parse(cls, text: str) -> "FaultSpec":
@@ -663,8 +759,8 @@ class FaultSpec:
             )
         return cls(
             kind=kind,
-            after_cases=int(arg) if arg and kind == "kill-worker" else 1,
-            seconds=float(arg) if arg and kind == "sleep-case" else 0.0,
+            after_cases=int(arg) if arg and kind in cls._COUNT_ARG else 1,
+            seconds=float(arg) if arg and kind in cls._SECONDS_ARG else 0.0,
             worker=worker or None,
         )
 
@@ -747,6 +843,50 @@ class FaultInjector:
             if spec.kind == "drop-partial" and self._fire_once(spec):
                 os._exit(17)
 
+    # -- service seams (see repro.service) ----------------------------- #
+
+    def on_cache_read(self) -> None:
+        """Seam: the service is about to look a case up in the cache."""
+        for spec in self.specs:
+            if spec.kind == "slow-cache-read" and spec.seconds > 0:
+                time.sleep(spec.seconds)
+
+    def on_index_refresh(self, index_path: pathlib.Path) -> None:
+        """Seam: the service is about to refresh its cache-index snapshot.
+
+        ``torn-index`` truncates the index file *in place* (deliberately
+        not atomic — it simulates external corruption our own writers can
+        never produce); the reader must degrade to a scan + rebuild.
+        """
+        for spec in self.specs:
+            if spec.kind == "torn-index" and self._fire_once(spec):
+                try:
+                    data = index_path.read_bytes()
+                    index_path.write_bytes(data[: max(1, len(data) // 2)])
+                except OSError:
+                    pass
+
+    def on_enqueue(self) -> None:
+        """Seam: the service is about to enqueue a cache miss."""
+        for spec in self.specs:
+            if (
+                spec.kind == "backend-hang"
+                and spec.seconds > 0
+                and self._fire_once(spec)
+            ):
+                time.sleep(spec.seconds)
+
+    def shed_storm_budget(self) -> int:
+        """Requests the admission gate must force-shed (0 without a spec).
+
+        One-shot per queue: the first service process to consult the
+        budget wins the marker and sheds the next ``N`` admissions.
+        """
+        for spec in self.specs:
+            if spec.kind == "shed-storm" and self._fire_once(spec):
+                return spec.after_cases
+        return 0
+
 
 class _HeartbeatThread(threading.Thread):
     """Touches a claim's mtime from the background while a shard runs.
@@ -809,6 +949,8 @@ def queue_worker(
     reap: bool = True,
     once: bool = False,
     wait: bool = True,
+    forever: bool = False,
+    stop: threading.Event | None = None,
     injector: FaultInjector | None = None,
     env_faults: bool = True,
 ) -> WorkerReport:
@@ -827,7 +969,12 @@ def queue_worker(
     number of processes), so a coordinatorless fleet still self-heals.
     ``once`` returns after the first completed task; ``wait=False``
     returns as soon as nothing is claimable instead of polling until the
-    queue completes.  ``injector`` (or, for subprocess workers,
+    queue completes; ``forever`` keeps polling even when every enqueued
+    task is done — the service-fleet mode, where new single-case tasks
+    arrive at any time.  ``stop`` requests a graceful exit: the worker
+    finishes (or, mid-shard, releases) its current claim and returns —
+    SIGTERM handlers set it so a drained claim is immediately claimable
+    by the rest of the fleet.  ``injector`` (or, for subprocess workers,
     ``REPRO_QUEUE_FAULT`` when ``env_faults``) drives the deterministic
     fault seams.
     """
@@ -842,6 +989,8 @@ def queue_worker(
     report = WorkerReport(worker_id=worker_id)
 
     while True:
+        if stop is not None and stop.is_set():
+            return report
         progressed = False
         ids = queue.task_ids()
         if ids:
@@ -856,7 +1005,7 @@ def queue_worker(
             if injector is not None:
                 injector.on_claimed(task_id)
             ok = _run_claimed_task(
-                queue, task_id, cache, force, injector, report
+                queue, task_id, cache, force, injector, report, stop
             )
             progressed = True
             if ok and once:
@@ -864,13 +1013,19 @@ def queue_worker(
             break  # rescan: the queue may have changed under us
         if progressed:
             continue
+        if stop is not None and stop.is_set():
+            return report
         if reap:
             queue.requeue_stale()
-        if queue.is_complete():
+        if not forever and queue.is_complete():
             return report
         if not wait:
             return report
-        time.sleep(queue.config.poll_seconds)
+        if stop is not None:
+            if stop.wait(queue.config.poll_seconds):
+                return report
+        else:
+            time.sleep(queue.config.poll_seconds)
 
 
 def _run_claimed_task(
@@ -880,8 +1035,15 @@ def _run_claimed_task(
     force: bool,
     injector: FaultInjector | None,
     report: WorkerReport,
+    stop: threading.Event | None = None,
 ) -> bool:
-    """Execute one claimed shard; True when its partial landed."""
+    """Execute one claimed shard; True when its partial landed.
+
+    With ``stop`` set mid-shard the worker aborts after the current case
+    and *releases* the claim (no attempt tombstone — a graceful drain is
+    not a failure), so the task is immediately claimable by the rest of
+    the fleet; everything computed so far is already in the cache.
+    """
     try:
         manifest = queue.manifest(task_id)
     except (OSError, ValueError, KeyError, TypeError) as exc:
@@ -902,11 +1064,17 @@ def _run_claimed_task(
             if injector.suppress_heartbeat:
                 heartbeat.suppressed = True
                 return True
+        if stop is not None and stop.is_set():
+            return False
         return not heartbeat.lost and queue.heartbeat(task_id)
 
     try:
         partial = run_shard(manifest, cache, force=force, progress=progress)
     except ShardAbort:
+        if stop is not None and stop.is_set() and not heartbeat.lost:
+            queue.release(task_id)  # graceful drain, not a failed attempt
+            report.released += 1
+            return False
         report.lost_lease += 1
         return False
     except Exception as exc:  # noqa: BLE001 - a task must not kill the loop

@@ -95,6 +95,25 @@ are requeued with bounded retries (then poisoned and reported).  The
 one-shot form ``fig6 --backend queue --jobs N --queue-dir DIR`` drives
 the whole fleet from one coordinator process (``--queue-lease`` /
 ``--queue-max-attempts`` tune the reaper).
+
+SIGTERM/SIGINT ask a ``queue-worker`` to drain gracefully: it finishes —
+or, mid-shard, releases — its current claim and exits with code 3 when
+the queue is still incomplete; a second signal force-aborts (code 4).
+``--forever`` keeps a worker polling after the queue drains (the service
+fleet mode, where new single-case tasks arrive at any time).
+
+The query service
+-----------------
+``serve`` runs the robustness-as-a-service HTTP layer over a cache and a
+queue directory (see :mod:`repro.service`)::
+
+    repro-experiments serve --cache-dir cache/ --workers 2 --port 8080
+    curl 'http://127.0.0.1:8080/case?kind=cholesky&param=7&ul=1.1'
+
+Cache hits answer in O(1) via the persistent cache index; misses are
+enqueued as single-case tasks and computed by the worker fleet within a
+per-request deadline.  Overload sheds with 429 + ``Retry-After``;
+``/healthz`` and ``/stats`` expose liveness and counters.
 """
 
 from __future__ import annotations
@@ -165,6 +184,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "campaign":
         return _campaign_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     runners = _runners()
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -175,7 +196,8 @@ def main(argv: list[str] | None = None) -> int:
         choices=[*runners.keys(), "aggregate", "all"],
         help="figure to reproduce, 'aggregate' (summarize a cache), or "
         "'all'; see also the 'campaign' command group "
-        "(shard/worker/merge/verify-cache)",
+        "(shard/worker/merge/verify-cache) and 'serve' (the HTTP query "
+        "service)",
     )
     parser.add_argument(
         "--scale",
@@ -510,6 +532,12 @@ def _campaign_main(argv: list[str]) -> int:
         help="exit when nothing is claimable instead of polling until the "
         "queue completes",
     )
+    p_qworker.add_argument(
+        "--forever",
+        action="store_true",
+        help="keep polling after the queue drains (service-fleet mode: "
+        "new single-case tasks may arrive at any time; exit via SIGTERM)",
+    )
 
     p_qstatus = sub.add_parser(
         "queue-status",
@@ -536,6 +564,13 @@ def _campaign_main(argv: list[str]) -> int:
         "--fast-conv",
         action="store_true",
         help="audit against the fast-precision-policy variant of the suite",
+    )
+    p_verify.add_argument(
+        "--rebuild-index",
+        action="store_true",
+        help="rebuild the cache index by scan when the audit finds it "
+        "stale or incomplete (the index is advisory: lookups stay "
+        "correct either way)",
     )
 
     args = parser.parse_args(argv)
@@ -625,6 +660,10 @@ def _campaign_main(argv: list[str]) -> int:
         return 0
 
     if args.cmd == "queue-worker":
+        import os
+        import signal
+        import threading
+
         from repro.campaign import QueueConfig, WorkQueue, queue_worker
 
         config = QueueConfig(
@@ -634,6 +673,24 @@ def _campaign_main(argv: list[str]) -> int:
             backoff_seconds=args.backoff,
         )
         queue = WorkQueue(args.queue_dir, config)
+        stop = threading.Event()
+
+        def _drain(signum: int, frame: object) -> None:
+            # First signal: finish-or-release the current claim, then
+            # exit.  Second signal: the operator means it — abort hard.
+            if stop.is_set():
+                os._exit(4)
+            stop.set()
+
+        try:
+            signal.signal(signal.SIGTERM, _drain)
+            signal.signal(signal.SIGINT, _drain)
+        except ValueError:  # pragma: no cover - non-main-thread callers
+            pass
+        # Announced only once the drain handlers are armed: anything that
+        # waits for this line may SIGTERM the worker and rely on a
+        # graceful finish-or-release instead of a default-action kill.
+        print(f"[queue-worker on {args.queue_dir}: ready]", flush=True)
         report = queue_worker(
             queue,
             args.cache_dir,
@@ -642,9 +699,13 @@ def _campaign_main(argv: list[str]) -> int:
             reap=not args.no_reap,
             once=args.once,
             wait=not args.no_wait,
+            forever=args.forever,
+            stop=stop,
         )
-        print(report.render())
-        print(f"[{queue.status().render()}]")
+        print(report.render(), flush=True)
+        print(f"[{queue.status().render()}]", flush=True)
+        if stop.is_set() and not queue.is_complete():
+            return 3  # drained mid-queue: claims released, work remains
         return 0
 
     if args.cmd == "queue-status":
@@ -681,7 +742,128 @@ def _campaign_main(argv: list[str]) -> int:
         print(f"  orphan:  {path.name} ({reason})")
     for path in audit.stale_temp:
         print(f"  stale:   {path.name}")
+    for key, reason in audit.index_stale:
+        print(f"  index-stale: {key[:12]} ({reason})")
+    for path in audit.unindexed:
+        print(f"  unindexed: {path.name}")
+    if not audit.index_consistent and args.rebuild_index:
+        index = cache.rebuild_index()
+        print(
+            f"[index rebuilt: generation {index.generation}, "
+            f"{len(index.entries)} entries]"
+        )
     return 0 if audit.ok else 1
+
+
+# ---------------------------------------------------------------------- #
+# the `serve` command: the robustness-as-a-service HTTP layer
+# ---------------------------------------------------------------------- #
+
+
+def _serve_main(argv: list[str]) -> int:
+    """The ``serve`` command: run the robustness query service."""
+    from repro.campaign import QueueConfig
+    from repro.service import AdmissionConfig, ServiceConfig, serve
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description="Serve robustness metrics over HTTP from an artifact "
+        "cache; misses are enqueued onto the campaign queue fleet.",
+    )
+    parser.add_argument(
+        "--cache-dir", type=pathlib.Path, required=True, metavar="DIR",
+        help="artifact cache to answer from (and the fleet writes into)",
+    )
+    parser.add_argument(
+        "--queue-dir", type=pathlib.Path, default=None, metavar="DIR",
+        help="work-queue directory for miss dispatch "
+        "(default: <cache-dir>-queue)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (0 picks a free one; the address is printed)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fleet workers to spawn and babysit (0 = rely on external "
+        "`campaign queue-worker --forever` processes)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=60.0, metavar="SEC",
+        help="per-request compute budget for cache misses (default: 60)",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.05, metavar="SEC",
+        help="artifact poll interval while a miss computes (default: 0.05)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="admitted requests in flight before arrivals wait (default: 8)",
+    )
+    parser.add_argument(
+        "--max-waiting", type=int, default=16, metavar="N",
+        help="requests allowed to wait for a slot; beyond this they are "
+        "shed with 429 (default: 16)",
+    )
+    parser.add_argument(
+        "--admit-wait", type=float, default=0.5, metavar="SEC",
+        help="longest a request waits for a slot before shedding "
+        "(default: 0.5)",
+    )
+    parser.add_argument(
+        "--lease", type=float, default=60.0, metavar="SEC",
+        help="fleet heartbeat lease (default: 60)",
+    )
+    parser.add_argument(
+        "--queue-poll", type=float, default=0.25, metavar="SEC",
+        help="fleet worker idle scan interval (default: 0.25)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="attempts per task before poisoning (default: 3)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=1.0, metavar="SEC",
+        help="base of the exponential requeue backoff (default: 1)",
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error("--workers must be ≥ 0")
+    queue_dir = args.queue_dir
+    if queue_dir is None:
+        queue_dir = args.cache_dir.with_name(args.cache_dir.name + "-queue")
+    config = ServiceConfig(
+        cache_dir=args.cache_dir,
+        queue_dir=queue_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        deadline_seconds=args.deadline,
+        poll_seconds=args.poll,
+        admission=AdmissionConfig(
+            max_inflight=args.max_inflight,
+            max_waiting=args.max_waiting,
+            wait_seconds=args.admit_wait,
+        ),
+        queue=QueueConfig(
+            lease_seconds=args.lease,
+            poll_seconds=args.queue_poll,
+            max_attempts=args.max_attempts,
+            backoff_seconds=args.backoff,
+        ),
+    )
+    service = serve(
+        config,
+        on_bound=lambda svc: print(
+            f"[serving http://{args.host}:{svc.port} — cache "
+            f"{args.cache_dir}, queue {queue_dir}, "
+            f"{args.workers} worker(s); SIGTERM drains gracefully]",
+            flush=True,
+        ),
+    )
+    print(f"[serve drained: {service.stats.summary()}]", flush=True)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,158 @@
+"""Bounded admission control: the service's load-shedding gate.
+
+A query server over an expensive compute backend degrades in exactly one
+acceptable way under overload: it *says no quickly*.  The gate bounds the
+number of in-flight requests and the number of requests allowed to wait
+for a slot; everything beyond that is shed immediately with a structured
+429 and a ``Retry-After`` hint, so saturation produces bounded latency
+for admitted requests and instant, honest rejections for the rest —
+never an unbounded queue, never a hung socket.
+
+The gate is a plain :class:`threading.Condition` monitor (the server's
+request handlers run on :class:`ThreadingHTTPServer` threads), and every
+counter it exposes is read under the same lock, so ``/stats`` snapshots
+are consistent.  A ``shed-storm`` fault (see
+:class:`~repro.campaign.queue.FaultSpec`) pre-loads ``forced_sheds`` to
+make the shed path deterministically testable end to end.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["AdmissionConfig", "AdmissionGate", "ShedError"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Sizing of the admission gate.
+
+    Attributes
+    ----------
+    max_inflight:
+        Requests allowed past the gate concurrently.
+    max_waiting:
+        Requests allowed to block waiting for a slot; arrivals beyond
+        this are shed immediately (the queue stays bounded).
+    wait_seconds:
+        Longest a request may wait for a slot before being shed.
+    retry_after_seconds:
+        The ``Retry-After`` hint attached to shed responses.
+    """
+
+    max_inflight: int = 8
+    max_waiting: int = 16
+    wait_seconds: float = 0.5
+    retry_after_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_waiting < 0:
+            raise ValueError(
+                f"max_waiting must be >= 0, got {self.max_waiting}"
+            )
+
+
+class ShedError(RuntimeError):
+    """The gate refused a request; carries the ``Retry-After`` hint."""
+
+    def __init__(self, reason: str, retry_after: float):
+        self.reason = reason
+        self.retry_after = retry_after
+        super().__init__(f"request shed ({reason}); retry after {retry_after:g}s")
+
+
+class AdmissionGate:
+    """Counting gate with a bounded wait room and load-shedding.
+
+    ``acquire``/``release`` bracket one admitted request; the
+    :meth:`admit` context manager is the usual entry point.  Shedding is
+    tri-modal and counted separately: ``forced`` (an injected
+    shed-storm), ``full`` (the wait room is at capacity — shed with zero
+    latency) and ``timeout`` (waited the configured bound without a slot
+    freeing).
+    """
+
+    def __init__(self, config: AdmissionConfig | None = None):
+        self.config = config or AdmissionConfig()
+        self._cond = threading.Condition()
+        self.inflight = 0
+        self.waiting = 0
+        #: Remaining injected force-sheds (the shed-storm fault budget).
+        self.forced_sheds = 0
+        self.admitted = 0
+        self.shed_full = 0
+        self.shed_timeout = 0
+        self.shed_forced = 0
+
+    def force_shed(self, n: int) -> None:
+        """Arm the gate to shed the next ``n`` admissions (fault seam)."""
+        if n <= 0:
+            return
+        with self._cond:
+            self.forced_sheds += n
+
+    def acquire(self) -> None:
+        """Admit the calling request or raise :class:`ShedError`."""
+        cfg = self.config
+        with self._cond:
+            if self.forced_sheds > 0:
+                self.forced_sheds -= 1
+                self.shed_forced += 1
+                raise ShedError("shed-storm", cfg.retry_after_seconds)
+            if self.inflight < cfg.max_inflight:
+                self.inflight += 1
+                self.admitted += 1
+                return
+            if self.waiting >= cfg.max_waiting:
+                self.shed_full += 1
+                raise ShedError("saturated", cfg.retry_after_seconds)
+            self.waiting += 1
+            deadline = time.monotonic() + cfg.wait_seconds
+            try:
+                while self.inflight >= cfg.max_inflight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.shed_timeout += 1
+                        raise ShedError(
+                            "wait timeout", cfg.retry_after_seconds
+                        )
+                    self._cond.wait(remaining)
+                self.inflight += 1
+                self.admitted += 1
+            finally:
+                self.waiting -= 1
+
+    def release(self) -> None:
+        """Return an admitted request's slot and wake one waiter."""
+        with self._cond:
+            self.inflight -= 1
+            self._cond.notify()
+
+    @contextmanager
+    def admit(self) -> Iterator[None]:
+        """``with gate.admit():`` — acquire on entry, release on exit."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+    def snapshot(self) -> dict:
+        """Consistent counter snapshot for ``/stats``."""
+        with self._cond:
+            return {
+                "inflight": self.inflight,
+                "waiting": self.waiting,
+                "admitted": self.admitted,
+                "shed_full": self.shed_full,
+                "shed_timeout": self.shed_timeout,
+                "shed_forced": self.shed_forced,
+            }

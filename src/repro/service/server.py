@@ -1,0 +1,578 @@
+"""The robustness-as-a-service HTTP server.
+
+A long-lived, stdlib-only (:class:`http.server.ThreadingHTTPServer`)
+query service over the campaign stack: ``GET /case?...`` answers from the
+:class:`~repro.campaign.cache.ArtifactCache` in O(1) via the persistent
+cache index, enqueues misses onto the :class:`~repro.campaign.queue`
+fleet as single-case tasks, and degrades — never corrupts — under every
+failure mode the stack can produce.
+
+Request lifecycle (the state machine ``docs/architecture.md`` draws)::
+
+    parse ──400──▶ rejected (bad query)
+      │ admission gate ──429──▶ shed (Retry-After)
+      ▼
+    cache lookup (index-first, O(1)) ──hit──▶ 200 (source=hit)
+      │ miss
+      ▼
+    enqueue case task (retry w/ backoff) ──retries exhausted──▶ 503
+      │
+      ▼
+    poll artifact ──landed──▶ 200 (source=miss, byte-identical)
+      │                        ──poisoned──▶ 502 (poison report attached)
+      └─deadline──▶ 504 (task stays enqueued; a later retry hits warm)
+
+Correctness invariant: a served ``result`` payload is byte-identical to
+direct :func:`~repro.core.study.evaluate_case` output — both paths go
+through the same canonical artifact serialization, and the service never
+synthesizes or mutates result content.  Responses are rendered with
+:func:`~repro.io.json_io.canonical_json`, so equal results are equal
+bytes on the wire.
+
+Degradation ladder (every rung structured, none hangs): 400 bad query →
+429 shed with ``Retry-After`` → 503 backend unavailable → 504 deadline
+(the work keeps cooking) → 502 poisoned (the work is known-bad).  A
+corrupt or torn cache index never surfaces at all: the cache degrades to
+a directory probe/scan and rebuilds the index in the background.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.campaign.cache import ArtifactCache
+from repro.campaign.queue import (
+    FaultInjector,
+    QueueBackend,
+    QueueConfig,
+    WorkQueue,
+)
+from repro.campaign.spec import CampaignCase
+from repro.io.json_io import canonical_json, case_result_to_payload
+from repro.service.admission import AdmissionConfig, AdmissionGate, ShedError
+from repro.service.spec import CaseSpecError, case_from_query
+
+__all__ = [
+    "RobustnessService",
+    "ServiceConfig",
+    "ServiceStats",
+    "make_server",
+    "serve",
+]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a service instance needs to run.
+
+    Attributes
+    ----------
+    cache_dir:
+        The artifact cache the service reads (and its fleet writes).
+    queue_dir:
+        Work-queue directory for miss dispatch.
+    host, port:
+        Bind address (``port=0`` picks a free port — tests use this).
+    workers:
+        Fleet size to spawn and babysit (0 = rely on external workers).
+    deadline_seconds:
+        Per-request compute budget for the miss path.
+    poll_seconds:
+        Artifact poll interval while a miss is cooking.
+    enqueue_retries:
+        Transient-enqueue-error retries (exponential backoff) before 503.
+    admission:
+        Load-shedding gate sizing.
+    queue:
+        Queue lease/retry policy for the fleet.
+    force:
+        Recompute even on artifact presence (debugging only).
+    """
+
+    cache_dir: pathlib.Path
+    queue_dir: pathlib.Path
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 0
+    deadline_seconds: float = 60.0
+    poll_seconds: float = 0.05
+    enqueue_retries: int = 3
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    queue: QueueConfig = field(default_factory=QueueConfig)
+    force: bool = False
+
+
+@dataclass
+class ServiceStats:
+    """What the service actually did (the ``/stats`` payload core).
+
+    Follows the :class:`~repro.campaign.runner.CampaignStats` convention:
+    plain counters plus a one-line :meth:`summary` for logs.
+    """
+
+    requests: int = 0
+    hits: int = 0
+    misses: int = 0
+    computed: int = 0
+    shed: int = 0
+    bad_requests: int = 0
+    timeouts: int = 0
+    poisoned: int = 0
+    backend_errors: int = 0
+
+    def summary(self) -> str:
+        """One-line human summary for logs and reports."""
+        return (
+            f"{self.requests} requests, {self.hits} hits / "
+            f"{self.misses} misses ({self.computed} computed), "
+            f"{self.shed} shed, {self.bad_requests} bad, "
+            f"{self.timeouts} timed out, {self.poisoned} poisoned, "
+            f"{self.backend_errors} backend errors"
+        )
+
+    def to_payload(self) -> dict:
+        """Counter dict for the ``/stats`` endpoint."""
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "computed": self.computed,
+            "shed": self.shed,
+            "bad_requests": self.bad_requests,
+            "timeouts": self.timeouts,
+            "poisoned": self.poisoned,
+            "backend_errors": self.backend_errors,
+        }
+
+
+class _BackendUnavailable(RuntimeError):
+    """Enqueueing a miss kept failing; the request maps to a 503."""
+
+
+class RobustnessService:
+    """The service core: cache, queue, gate, fleet — minus the HTTP skin.
+
+    Separating the core from the handler keeps every degradation path
+    unit-testable without sockets: :meth:`handle_case` returns
+    ``(status, headers, payload)`` for a parsed query, and the HTTP layer
+    only serializes.  All shared state is either monitor-protected
+    (:class:`~repro.service.admission.AdmissionGate`), lock-protected
+    (:class:`ServiceStats` under ``_stats_lock``) or immutable.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.cache = ArtifactCache(pathlib.Path(config.cache_dir))
+        self.queue = WorkQueue(
+            pathlib.Path(config.queue_dir), config.queue
+        ).init()
+        self.gate = AdmissionGate(config.admission)
+        self.stats = ServiceStats()
+        self._stats_lock = threading.Lock()
+        self.stop_event = threading.Event()
+        self._fleet: dict[str, tuple[subprocess.Popen, Any]] = {}
+        self._fleet_lock = threading.Lock()
+        self._janitor: threading.Thread | None = None
+        self._next_worker = 0
+        #: Bound port, filled in by :func:`serve` once the socket exists.
+        self.port: int | None = None
+        self.injector = FaultInjector.from_env(
+            os.environ, self.queue, "service"
+        )
+        if self.injector is not None:
+            self.gate.force_shed(self.injector.shed_storm_budget())
+
+    # -- bookkeeping ---------------------------------------------------- #
+
+    def _count(self, **deltas: int) -> None:
+        """Bump stats counters under the lock."""
+        with self._stats_lock:
+            for name, delta in deltas.items():
+                setattr(self.stats, name, getattr(self.stats, name) + delta)
+
+    # -- the request core ----------------------------------------------- #
+
+    def handle_case(
+        self, params: Mapping[str, str]
+    ) -> tuple[int, dict[str, str], dict]:
+        """Serve one ``/case`` query; returns (status, headers, payload).
+
+        Implements the full lifecycle: parse → admit → indexed lookup →
+        miss dispatch → poll; every exit is a structured JSON payload.
+        """
+        self._count(requests=1)
+        try:
+            case = case_from_query(params)
+        except CaseSpecError as exc:
+            self._count(bad_requests=1)
+            return 400, {}, {"error": "bad-request", "detail": str(exc)}
+        try:
+            with self.gate.admit():
+                return self._serve_case(case)
+        except ShedError as exc:
+            self._count(shed=1)
+            return (
+                429,
+                {"Retry-After": f"{exc.retry_after:g}"},
+                {
+                    "error": "shed",
+                    "detail": str(exc),
+                    "retry_after": exc.retry_after,
+                },
+            )
+
+    def _serve_case(self, case: CampaignCase) -> tuple[int, dict[str, str], dict]:
+        """Admitted path: indexed lookup, then the miss state machine."""
+        deadline = time.monotonic() + self.config.deadline_seconds
+        if self.injector is not None:
+            self.injector.on_cache_read()
+            self.injector.on_index_refresh(self.cache.index_path)
+        result = None if self.config.force else self.cache.lookup(case)
+        if result is not None:
+            self._count(hits=1)
+            return 200, {}, self._ok_payload(case, result, "hit")
+        self._count(misses=1)
+
+        try:
+            task_id = self._enqueue_with_retry(case, deadline)
+        except _BackendUnavailable as exc:
+            self._count(backend_errors=1)
+            return (
+                503,
+                {"Retry-After": f"{self.config.queue.poll_seconds:g}"},
+                {"error": "backend-unavailable", "detail": str(exc)},
+            )
+
+        artifact = self.cache.path_for(case)
+        while time.monotonic() < deadline and not self.stop_event.is_set():
+            if artifact.exists():
+                result = self.cache.lookup(case)
+                if result is not None:
+                    self._count(computed=1)
+                    return 200, {}, self._ok_payload(case, result, "miss")
+            if self.queue.is_poisoned(task_id):
+                self._count(poisoned=1)
+                return (
+                    502,
+                    {},
+                    {
+                        "error": "poisoned",
+                        "detail": (
+                            f"task {task_id} exhausted its retry budget"
+                        ),
+                        "task": task_id,
+                        "report": self.queue.poisoned().get(task_id, {}),
+                    },
+                )
+            time.sleep(self.config.poll_seconds)
+        self._count(timeouts=1)
+        return (
+            504,
+            {"Retry-After": f"{self.config.deadline_seconds:g}"},
+            {
+                "error": "deadline",
+                "detail": (
+                    f"case {case.name} not computed within "
+                    f"{self.config.deadline_seconds:g}s; it remains "
+                    "enqueued — retry later for a warm hit"
+                ),
+                "task": task_id,
+            },
+        )
+
+    def _ok_payload(
+        self, case: CampaignCase, result: Any, source: str
+    ) -> dict:
+        """Success body: the canonical result payload plus provenance."""
+        return {
+            "case": case.to_dict(),
+            "key": case.key,
+            "source": source,
+            "result": case_result_to_payload(result),
+        }
+
+    def _enqueue_with_retry(self, case: CampaignCase, deadline: float) -> str:
+        """Enqueue a miss, retrying transient queue errors with backoff."""
+        delay = 0.05
+        last: Exception | None = None
+        for _ in range(max(1, self.config.enqueue_retries)):
+            if self.injector is not None:
+                self.injector.on_enqueue()
+            try:
+                return self.queue.enqueue_case(case)
+            except OSError as exc:
+                last = exc
+                if time.monotonic() + delay >= deadline:
+                    break
+                time.sleep(delay)
+                delay *= 2.0
+        raise _BackendUnavailable(
+            f"could not enqueue case task: {last}"
+        )
+
+    # -- auxiliary endpoints -------------------------------------------- #
+
+    def healthz(self) -> tuple[int, dict[str, str], dict]:
+        """Cheap liveness probe: no scans, no locks beyond the gate's."""
+        draining = self.stop_event.is_set()
+        return (
+            200 if not draining else 503,
+            {},
+            {
+                "status": "draining" if draining else "ok",
+                "inflight": self.gate.snapshot()["inflight"],
+                "fleet": self.fleet_size(),
+            },
+        )
+
+    def stats_payload(self) -> tuple[int, dict[str, str], dict]:
+        """The ``/stats`` body: service + gate + cache + queue counters."""
+        with self._stats_lock:
+            service = self.stats.to_payload()
+            summary = self.stats.summary()
+        cache_stats = self.cache.stats
+        return (
+            200,
+            {},
+            {
+                "summary": summary,
+                "service": service,
+                "admission": self.gate.snapshot(),
+                "cache": {
+                    "hits": cache_stats.hits,
+                    "misses": cache_stats.misses,
+                    "stores": cache_stats.stores,
+                    "corrupt": cache_stats.corrupt,
+                    "scans": cache_stats.scans,
+                    "index_hits": cache_stats.index_hits,
+                    "index_fallbacks": cache_stats.index_fallbacks,
+                    "index_corrupt": cache_stats.index_corrupt,
+                    "index_rebuilds": cache_stats.index_rebuilds,
+                },
+                "queue": self.queue.status().__dict__,
+                "fleet": self.fleet_size(),
+            },
+        )
+
+    # -- the worker fleet ------------------------------------------------ #
+
+    def fleet_size(self) -> int:
+        """Live fleet subprocess count."""
+        with self._fleet_lock:
+            return sum(
+                1 for proc, _ in self._fleet.values() if proc.poll() is None
+            )
+
+    def _spawn_worker(self) -> None:
+        """Launch one ``--forever`` fleet worker through the public CLI."""
+        cfg = self.config.queue
+        wid = f"svc{self._next_worker}"
+        self._next_worker += 1
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.experiments.cli",
+            "campaign",
+            "queue-worker",
+            str(self.queue.root),
+            "--cache-dir",
+            str(self.cache.root),
+            "--worker-id",
+            wid,
+            "--lease",
+            str(cfg.lease_seconds),
+            "--poll",
+            str(cfg.poll_seconds),
+            "--max-attempts",
+            str(cfg.max_attempts),
+            "--backoff",
+            str(cfg.backoff_seconds),
+            "--no-reap",
+            "--forever",
+        ]
+        if self.config.force:
+            cmd.append("--force")
+        log = open(self.queue.logs_dir / f"{wid}.log", "w")
+        proc = subprocess.Popen(
+            cmd,
+            env=QueueBackend._worker_env(),
+            stdout=log,
+            stderr=subprocess.STDOUT,
+        )
+        with self._fleet_lock:
+            self._fleet[wid] = (proc, log)
+
+    def start_fleet(self) -> None:
+        """Spawn the configured workers and the janitor thread."""
+        if self.config.workers <= 0:
+            return
+        for _ in range(self.config.workers):
+            self._spawn_worker()
+        self._janitor = threading.Thread(
+            target=self._janitor_loop, name="fleet-janitor", daemon=True
+        )
+        self._janitor.start()
+
+    def _janitor_loop(self) -> None:
+        """Reap stale leases and respawn dead workers until shutdown."""
+        while not self.stop_event.wait(self.config.queue.poll_seconds):
+            self.queue.requeue_stale()
+            with self._fleet_lock:
+                dead = [
+                    wid
+                    for wid, (proc, _) in self._fleet.items()
+                    if proc.poll() is not None
+                ]
+                for wid in dead:
+                    self._fleet.pop(wid)[1].close()
+            for _ in range(
+                max(0, self.config.workers - self.fleet_size())
+            ):
+                self._spawn_worker()
+
+    def stop_fleet(self, timeout: float = 10.0) -> None:
+        """SIGTERM the fleet (graceful finish-or-release) and wait."""
+        self.stop_event.set()
+        if self._janitor is not None:
+            self._janitor.join(timeout=5.0)
+        with self._fleet_lock:
+            fleet = list(self._fleet.values())
+            self._fleet.clear()
+        for proc, _ in fleet:
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + timeout
+        for proc, log in fleet:
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+            log.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP skin over :class:`RobustnessService`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "_Server"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Route GET requests to the service core."""
+        url = urlsplit(self.path)
+        service = self.server.service
+        if url.path == "/case":
+            params = dict(parse_qsl(url.query, keep_blank_values=True))
+            status, headers, payload = service.handle_case(params)
+        elif url.path == "/healthz":
+            status, headers, payload = service.healthz()
+        elif url.path == "/stats":
+            status, headers, payload = service.stats_payload()
+        else:
+            status, headers, payload = (
+                404,
+                {},
+                {"error": "not-found", "detail": f"no route {url.path!r}"},
+            )
+        self._reply(status, headers, payload)
+
+    def _reply(
+        self, status: int, headers: dict[str, str], payload: dict
+    ) -> None:
+        """Send one canonical-JSON response."""
+        body = canonical_json(payload).encode()
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client gave up; nothing to salvage
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence per-request stderr chatter (stats carry the signal)."""
+
+
+class _Server(ThreadingHTTPServer):
+    """ThreadingHTTPServer wired for graceful drains.
+
+    ``daemon_threads=False`` + ``block_on_close=True`` make
+    ``server_close`` wait for in-flight request threads — a SIGTERM drain
+    finishes every admitted request before the process exits.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: RobustnessService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def make_server(service: RobustnessService) -> _Server:
+    """Bind the HTTP server for ``service`` (does not start serving).
+
+    Fills in ``service.port`` with the bound port, so tests can pass
+    ``port=0`` and drive ``serve_forever``/``shutdown`` themselves.
+    """
+    cfg = service.config
+    httpd = _Server((cfg.host, cfg.port), service)
+    service.port = httpd.server_address[1]
+    return httpd
+
+
+def serve(
+    config: ServiceConfig,
+    *,
+    ready: "threading.Event | None" = None,
+    on_bound: "Any | None" = None,
+    install_signals: bool = True,
+) -> RobustnessService:
+    """Run the service until SIGTERM/SIGINT; returns the drained service.
+
+    Builds the core, starts the fleet, binds the server, and blocks in
+    ``serve_forever``.  The first SIGTERM/SIGINT initiates a graceful
+    drain: stop admitting (``/healthz`` flips to draining), finish every
+    in-flight request, then stop the fleet — workers receive SIGTERM and
+    finish-or-release their claims.  ``ready`` (tests) is set once the
+    socket is bound; the bound port is on the returned service's
+    ``port`` attribute (useful with ``port=0``), and ``on_bound`` — a
+    callable taking the service — fires right after binding so the CLI
+    can announce the address before blocking.
+    """
+    service = RobustnessService(config)
+    httpd = make_server(service)
+    service.start_fleet()
+    if on_bound is not None:
+        on_bound(service)
+
+    def _initiate_shutdown(signum: int, frame: Any) -> None:
+        service.stop_event.set()
+        # shutdown() must run off the serve_forever thread.
+        threading.Thread(target=httpd.shutdown, daemon=True).start()
+
+    if install_signals:
+        signal.signal(signal.SIGTERM, _initiate_shutdown)
+        signal.signal(signal.SIGINT, _initiate_shutdown)
+    if ready is not None:
+        ready.set()
+    try:
+        httpd.serve_forever(poll_interval=0.1)
+    finally:
+        httpd.server_close()  # joins in-flight request threads
+        service.stop_fleet()
+    return service

@@ -14,7 +14,11 @@ Fault kinds (see :class:`repro.campaign.queue.FaultSpec`):
   requeue → duplicated completion);
 * ``corrupt-claim``   — overwrite the worker's own claim with garbage;
 * ``sleep-case:S``    — pace case completion (makes lease timing
-  deterministic in the tests above).
+  deterministic in the tests above);
+* ``slow-cache-read:S`` / ``torn-index`` / ``backend-hang:S`` /
+  ``shed-storm:N`` — service-scoped faults fired at the
+  :mod:`repro.service` seams (cache lookup, index refresh, miss
+  enqueue, admission).
 
 Every one-shot fault burns a marker file under the queue's ``faults/``
 directory, so a test can assert the fault actually *fired* — a fault test
@@ -93,6 +97,7 @@ def spawn_worker(
     backoff: float = 0.0,
     no_wait: bool = False,
     no_reap: bool = False,
+    forever: bool = False,
 ) -> subprocess.Popen:
     """Launch one real ``campaign queue-worker`` subprocess.
 
@@ -124,6 +129,8 @@ def spawn_worker(
         cmd.append("--no-wait")
     if no_reap:
         cmd.append("--no-reap")
+    if forever:
+        cmd.append("--forever")
     return subprocess.Popen(
         cmd, env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True,

@@ -1,0 +1,217 @@
+"""The persistent cache index: O(1) lookups, degradation, audit, rebuild.
+
+The index is strictly advisory — these tests pin the contract that makes
+that safe: lookups through the index never scan the directory (the
+``scans`` counter is the service's O(1) assertion), a missing/corrupt/
+stale index degrades to a direct probe and self-repairs, generations
+only grow, and ``verify`` cross-checks index ↔ directory both ways.
+"""
+
+import pytest
+
+from repro.campaign import ArtifactCache, CacheIndex, CampaignCase
+from repro.campaign.cache import INDEX_FILENAME
+from repro.experiments.cases import CaseSpec
+from repro.experiments.cli import main
+
+
+@pytest.fixture(scope="module")
+def case() -> CampaignCase:
+    return CampaignCase(
+        spec=CaseSpec("cholesky", 3, 1.1), base_seed=7, n_random=5
+    )
+
+
+@pytest.fixture(scope="module")
+def result(case):
+    return case.run()
+
+
+@pytest.fixture
+def warm(tmp_path, case, result) -> ArtifactCache:
+    """A cache directory holding one stored artifact (and its index)."""
+    cache = ArtifactCache(tmp_path / "cache")
+    cache.store(case, result)
+    return cache
+
+
+class TestIndexMaintenance:
+    def test_store_indexes_the_artifact(self, warm, case):
+        index = warm.read_index()
+        assert index is not None
+        assert index.generation >= 1
+        entry = index.entries[case.key]
+        assert entry["file"] == case.artifact_name
+
+    def test_lookup_hits_via_index_with_zero_scans(
+        self, warm, case, result
+    ):
+        reader = ArtifactCache(warm.root)  # fresh stats
+        loaded = reader.lookup(case)
+        assert loaded is not None and loaded.name == result.name
+        assert reader.stats.index_hits == 1
+        assert reader.stats.index_fallbacks == 0
+        assert reader.stats.scans == 0
+
+    def test_missing_index_falls_back_and_repairs(self, warm, case):
+        warm.index_path.unlink()
+        reader = ArtifactCache(warm.root)
+        assert reader.lookup(case) is not None
+        assert reader.stats.index_fallbacks == 1
+        # the fallback repaired the entry: next lookup is index-resolved
+        assert reader.lookup(case) is not None
+        assert reader.stats.index_hits == 1
+        assert reader.stats.scans == 0
+
+    def test_generations_only_grow(self, tmp_path, case, result):
+        cache = ArtifactCache(tmp_path / "c")
+        gens = []
+        for seed in (1, 2, 3):
+            variant = CampaignCase(
+                spec=case.spec, base_seed=seed, n_random=5
+            )
+            cache.store(variant, result)
+            gens.append(cache.read_index().generation)
+        assert gens == sorted(gens) and len(set(gens)) == len(gens)
+
+    def test_current_index_is_cached_against_file_signature(self, warm):
+        first = warm.current_index()
+        assert warm.current_index() is first  # same file → same snapshot
+        warm.write_index(CacheIndex(generation=99, entries={}))
+        assert warm.current_index().generation == 99
+
+
+class TestIndexDegradation:
+    @pytest.mark.parametrize(
+        "corruption",
+        ["garbage {{{", "", '{"format": "something-else"}'],
+        ids=["garbage", "empty", "wrong-format"],
+    )
+    def test_corrupt_index_degrades_to_probe(
+        self, warm, case, corruption
+    ):
+        warm.index_path.write_text(corruption)
+        reader = ArtifactCache(warm.root)
+        assert reader.lookup(case) is not None  # never an error
+        assert reader.stats.index_corrupt >= 1
+        assert reader.stats.index_fallbacks == 1
+
+    def test_truncated_index_degrades_to_probe(self, warm, case):
+        data = warm.index_path.read_bytes()
+        warm.index_path.write_bytes(data[: len(data) // 2])
+        reader = ArtifactCache(warm.root)
+        assert reader.lookup(case) is not None
+        assert reader.stats.index_corrupt >= 1
+
+    def test_rebuild_recovers_from_corruption(self, warm, case):
+        warm.index_path.write_text("garbage")
+        rebuilt = warm.rebuild_index()
+        assert case.key in rebuilt.entries
+        assert warm.read_index().entries == rebuilt.entries
+        assert warm.stats.index_rebuilds == 1
+        reader = ArtifactCache(warm.root)
+        assert reader.lookup(case) is not None
+        assert reader.stats.index_hits == 1
+
+    def test_rebuild_skips_corrupt_artifacts(self, warm, case):
+        (warm.root / "broken-000000000000.json").write_text("not json")
+        rebuilt = warm.rebuild_index()
+        assert list(rebuilt.entries) == [case.key]
+
+    def test_lying_index_entry_cannot_produce_wrong_answer(
+        self, warm, case
+    ):
+        # Point the entry at the right key but corrupt the artifact:
+        # lookup re-validates content, so it reports a miss, not garbage.
+        warm.path_for(case).write_text("{torn")
+        reader = ArtifactCache(warm.root)
+        assert reader.lookup(case) is None
+        assert reader.stats.corrupt == 1
+
+
+class TestVerifyIndexAudit:
+    def test_consistent_cache_audits_clean(self, warm):
+        audit = warm.verify()
+        assert audit.ok
+        assert audit.index_consistent
+        assert audit.index_generation == warm.read_index().generation
+        assert "index gen" in audit.summary()
+
+    def test_stale_entry_and_unindexed_artifact_reported(
+        self, warm, case
+    ):
+        index = warm.read_index()
+        doctored = dict(index.entries)
+        del doctored[case.key]  # the artifact becomes unindexed
+        doctored["f" * 64] = {"file": "nope.json", "sha256": "0" * 64}
+        warm.write_index(
+            CacheIndex(generation=index.generation + 1, entries=doctored)
+        )
+        audit = warm.verify()
+        assert audit.ok  # index problems are not corruption
+        assert not audit.index_consistent
+        assert [key for key, _ in audit.index_stale] == ["f" * 64]
+        assert [p.name for p in audit.unindexed] == [case.artifact_name]
+
+    def test_digest_divergence_reported(self, warm, case):
+        index = warm.read_index()
+        entries = dict(index.entries)
+        entries[case.key] = {**entries[case.key], "sha256": "0" * 64}
+        warm.write_index(
+            CacheIndex(generation=index.generation + 1, entries=entries)
+        )
+        audit = warm.verify()
+        assert [(k, r) for k, r in audit.index_stale] == [
+            (case.key, "result digest diverged")
+        ]
+
+    def test_missing_index_is_not_a_defect(self, warm):
+        warm.index_path.unlink()
+        audit = warm.verify()
+        assert audit.ok
+        assert audit.index_generation is None
+        assert "no index" in audit.summary()
+
+
+class TestVerifyCacheCli:
+    def test_cli_reports_index_audit(self, warm, case, capsys):
+        index = warm.read_index()
+        warm.write_index(
+            CacheIndex(
+                generation=index.generation + 1,
+                entries={"a" * 64: {"file": "gone.json", "sha256": "0" * 64}},
+            )
+        )
+        code = main(
+            ["campaign", "verify-cache", "--cache-dir", str(warm.root)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # advisory: not corruption
+        assert "index-stale" in out
+        assert "unindexed" in out
+
+    def test_cli_rebuild_index_repairs(self, warm, case, capsys):
+        warm.index_path.write_text("garbage")
+        code = main(
+            [
+                "campaign",
+                "verify-cache",
+                "--cache-dir",
+                str(warm.root),
+                "--rebuild-index",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "index rebuilt" in out
+        audit = ArtifactCache(warm.root).verify()
+        assert audit.index_consistent
+
+    def test_index_file_invisible_to_artifact_scans(self, warm, case):
+        # The .index suffix keeps it out of *.json artifact handling:
+        # verify must not flag it, iter_results must not parse it.
+        audit = warm.verify()
+        assert all(p.name != INDEX_FILENAME for p in audit.valid)
+        assert all(p.name != INDEX_FILENAME for p, _ in audit.corrupt)
+        names = [c.name for _, c, _ in warm.iter_results()]
+        assert names == [case.name]

@@ -138,8 +138,14 @@ class TestQueueProtocol:
         queue.claim(task, "a")
         queue.fail(task, "boom")
         now = time.time()
+        ready = queue.ready_at(task)
+        # base delay 30s plus at most 25% deterministic jitter
+        assert now + 29.0 <= ready <= now + 30.0 * 1.25 + 1.0
         assert not queue.claimable(task, now=now)
-        assert queue.claimable(task, now=now + 31.0)
+        assert not queue.claimable(task, now=ready - 0.5)
+        assert queue.claimable(task, now=ready + 0.5)
+        # the jitter is a pure function of (task id, attempts): stable
+        assert queue.ready_at(task) == ready
 
     def test_fault_spec_parsing(self):
         spec = FaultSpec.parse("kill-worker:2@w1")
@@ -150,6 +156,119 @@ class TestQueueProtocol:
         assert FaultSpec.parse("drop-partial").worker is None
         with pytest.raises(ValueError, match="unknown fault kind"):
             FaultSpec.parse("set-fire-to-the-rack")
+
+
+class TestCaseTasks:
+    """Single-case tasks (the service miss path) on the shard queue."""
+
+    def test_enqueue_case_is_idempotent(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", FAST)
+        case = _indexed_cases()[0][1]
+        task_id = queue.enqueue_case(case)
+        assert task_id == f"case-{case.key[:12]}"
+        assert task_id in queue.task_ids()
+        first = queue.task_path(task_id).read_bytes()
+        assert queue.enqueue_case(case) == task_id
+        assert queue.task_path(task_id).read_bytes() == first
+
+    def test_case_tasks_coexist_with_a_shard_suite(self, tmp_path):
+        queue, manifests = _enqueued(tmp_path)
+        foreign = expand_suite(SPECS, TINY, base_seed=99)[0]
+        task_id = queue.enqueue_case(foreign)
+        assert task_id in queue.task_ids()
+        # the case task does not claim the suite namespace: re-enqueueing
+        # the shard suite stays legal
+        new, done = queue.enqueue(manifests)
+        assert (new, done) == (len(manifests), 0)
+
+    def test_worker_drains_case_task_byte_identically(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", FAST)
+        cache = ArtifactCache(tmp_path / "cache")
+        case = _indexed_cases()[0][1]
+        task_id = queue.enqueue_case(case)
+        report = queue_worker(queue, cache, "w0", env_faults=False)
+        assert (report.claimed, report.completed) == (1, 1)
+        assert queue.is_complete()
+        assert queue.has_partial(task_id)
+        loaded = cache.load(case)
+        assert loaded is not None
+        assert case_result_to_json(loaded) == case_result_to_json(case.run())
+
+    def test_completed_case_task_is_not_reenqueued(self, tmp_path):
+        queue = WorkQueue(tmp_path / "q", FAST)
+        cache = ArtifactCache(tmp_path / "cache")
+        case = _indexed_cases()[0][1]
+        queue.enqueue_case(case)
+        queue_worker(queue, cache, "w0", env_faults=False)
+        assert queue.enqueue_case(case) == f"case-{case.key[:12]}"
+        assert queue.is_complete()  # the landed partial was left alone
+        report = queue_worker(queue, cache, "w1", env_faults=False)
+        assert report.claimed == 0
+
+
+class TestScanRaceHardening:
+    """TOCTOU races: directory entries vanishing between list and stat.
+
+    Dangling symlinks simulate the race deterministically — they show up
+    in the directory listing but every ``stat``/``open`` on them fails,
+    exactly like a file a concurrent cleanup removed mid-scan.
+    """
+
+    def test_partials_skips_entries_vanishing_mid_scan(self, tmp_path):
+        queue, _ = _enqueued(tmp_path)
+        queue.init()
+        (queue.partials_dir / "partial-7-of-9.json").symlink_to(
+            tmp_path / "vanished.json"
+        )
+        assert queue.partials() == []
+
+    def test_ready_at_skips_tombstones_vanishing_mid_scan(self, tmp_path):
+        queue = WorkQueue(
+            tmp_path / "q", QueueConfig(backoff_seconds=30.0)
+        )
+        manifests = [
+            m for m in partition_cases(_indexed_cases(), 3) if m.cases
+        ]
+        queue.enqueue(manifests)
+        task = queue.task_ids()[0]
+        (queue.attempts_dir / f"{task}.attempt-01").symlink_to(
+            tmp_path / "gone"
+        )
+        # the tombstone names an attempt but its stat fails: no backoff
+        # gate can be computed from it, so the task is claimable now
+        assert queue.ready_at(task) == 0.0
+        assert queue.claimable(task)
+
+    def test_status_tolerates_vanishing_queue_state(self, tmp_path):
+        queue, _ = _enqueued(tmp_path)
+        queue.init()
+        task = queue.task_ids()[0]
+        (queue.partials_dir / "partial-8-of-9.json").symlink_to(
+            tmp_path / "vanished.json"
+        )
+        (queue.attempts_dir / f"{task}.attempt-01").symlink_to(
+            tmp_path / "gone"
+        )
+        status = queue.status()
+        assert status.total == len(queue.task_ids())
+        assert status.done == 0
+        assert status.failed_attempts == 1  # the tombstone still counts
+
+    def test_queue_status_cli_survives_dangling_entries(
+        self, tmp_path, capsys
+    ):
+        from repro.experiments.cli import main
+
+        queue, _ = _enqueued(tmp_path)
+        queue.init()
+        (queue.partials_dir / "partial-7-of-9.json").symlink_to(
+            tmp_path / "vanished.json"
+        )
+        code = main(
+            ["campaign", "queue-status", str(queue.root)]
+        )
+        assert code == 0
+        assert "open" in capsys.readouterr().out
 
 
 class TestQueueWorker:

@@ -14,6 +14,8 @@ process itself.
 import hashlib
 import pathlib
 import re
+import signal
+import time
 
 import pytest
 
@@ -265,3 +267,82 @@ class TestCoordinatorUnderFaults:
         assert "simulated systemic failure" in str(
             err.value.reports[victim].get("reason", "")
         )
+
+
+def _wait_for_claim(queue: WorkQueue, timeout: float = 60.0) -> str:
+    """Poll until a worker claims some task; returns the task id."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        claims = sorted(queue.claims_dir.glob("*.claim"))
+        if claims:
+            return claims[0].name[: -len(".claim")]
+        time.sleep(0.02)
+    raise AssertionError("worker never claimed a task")
+
+
+class TestWorkerSignals:
+    """SIGTERM drains: finish-or-release, never tombstone, never hang.
+
+    The contract the service fleet (and any operator's ``kill``) relies
+    on: the first signal finishes the current case, *releases* the claim
+    (no failed-attempt tombstone — a drain is not a crash) and exits 3
+    when work remains; a second signal abandons ship with exit 4; an
+    idle ``--forever`` worker drains to exit 0 promptly.
+    """
+
+    def test_sigterm_mid_shard_releases_claim_and_exits_3(self, tmp_path):
+        queue = _enqueue(tmp_path, n_shards=1)
+        cache_dir = tmp_path / "cache"
+        # pace the shard so the signal reliably lands mid-execution
+        proc = spawn_worker(
+            queue.root, cache_dir, "w0", env=fault_env("sleep-case:0.4")
+        )
+        task = _wait_for_claim(queue)
+        time.sleep(0.3)
+        proc.send_signal(signal.SIGTERM)
+        out = wait_all([proc], timeout=120)[0]
+        assert proc.returncode == 3, out  # drained with work remaining
+        # the claim came off gracefully: released, not retired
+        assert not queue.claim_path(task).exists()
+        assert queue.attempts(task) == 0
+        assert not queue.has_partial(task)
+        assert "released=1" in out
+        # the released task is immediately claimable: a fresh worker
+        # resumes warm from the artifacts the drained one stored
+        report = queue_worker(
+            queue, ArtifactCache(cache_dir), "w1", env_faults=False
+        )
+        assert queue.is_complete()
+        assert not queue.poisoned()
+        assert report.cached >= 1
+
+    def test_second_sigterm_abandons_with_exit_4(self, tmp_path):
+        queue = _enqueue(tmp_path, n_shards=1)
+        proc = spawn_worker(
+            queue.root,
+            tmp_path / "cache",
+            "w0",
+            env=fault_env("sleep-case:5"),
+        )
+        task = _wait_for_claim(queue)
+        proc.send_signal(signal.SIGTERM)
+        time.sleep(0.4)  # first signal handled; worker mid-case
+        proc.send_signal(signal.SIGTERM)
+        out = wait_all([proc], timeout=60)[0]
+        assert proc.returncode == 4, out  # hard abandon
+        # the abandoned claim stays for the reaper — exactly why the
+        # second signal is the impatient path, not the default
+        assert queue.claim_path(task).exists()
+
+    def test_idle_forever_worker_drains_to_exit_0(self, tmp_path):
+        queue = WorkQueue(tmp_path / "queue", FAST).init()
+        proc = spawn_worker(
+            queue.root, tmp_path / "cache", "w0", env=fault_env(),
+            forever=True,
+        )
+        # the ready banner prints only after the drain handlers are
+        # armed — signalling earlier would hit the default SIGTERM action
+        assert "ready" in proc.stdout.readline()
+        proc.send_signal(signal.SIGTERM)
+        out = wait_all([proc], timeout=30)[0]
+        assert proc.returncode == 0, out  # nothing owed: clean exit

@@ -69,7 +69,7 @@ class TestCampaignPolicy:
         cases = _cases()
         cache = ArtifactCache(tmp_path)
         Campaign(cases, jobs=3, cache=cache).run()
-        assert sorted(p.name for p in cache.root.iterdir()) == sorted(
+        assert sorted(p.name for p in cache.root.glob("*.json")) == sorted(
             c.artifact_name for c in cases
         )
 

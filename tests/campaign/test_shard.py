@@ -316,7 +316,7 @@ class TestShardBackendCachePersistence:
         # Artifacts exist (the workers wrote them into the shared cache)
         # without the parent re-storing them...
         assert parent_stores == []
-        assert sorted(p.name for p in cache.root.iterdir()) == sorted(
+        assert sorted(p.name for p in cache.root.glob("*.json")) == sorted(
             c.artifact_name for c in cases
         )
         # ...and the worker-side stores are credited to the cache stats,

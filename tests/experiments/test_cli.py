@@ -51,7 +51,7 @@ class TestCampaignFlags:
         out = capsys.readouterr().out
         assert "Fig. 3" in out
         assert "1 stored" in out
-        assert len(list(cache_dir.iterdir())) == 1
+        assert len(list(cache_dir.glob("*.json"))) == 1
 
     def test_parallel_report_identical_to_serial(self, capsys, tmp_path):
         assert main(["fig3", "--jobs", "4"]) == 0

@@ -1,0 +1,167 @@
+"""The admission gate: bounded concurrency, bounded waiting, honest 429s.
+
+Concurrency here is driven with real threads holding real slots — the
+gate's contract is about what happens *while* capacity is held, so the
+tests park threads inside ``admit()`` and assert the shapes of rejection
+(immediate when the wait room is full, bounded-latency when it times
+out, deterministic under an injected shed-storm).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import AdmissionConfig, AdmissionGate, ShedError
+
+
+def _hold(gate: AdmissionGate, release: threading.Event) -> threading.Thread:
+    """Occupy one admission slot until ``release`` is set."""
+    entered = threading.Event()
+
+    def body() -> None:
+        with gate.admit():
+            entered.set()
+            release.wait(timeout=30.0)
+
+    thread = threading.Thread(target=body, daemon=True)
+    thread.start()
+    assert entered.wait(timeout=5.0), "holder never admitted"
+    return thread
+
+
+class TestConfig:
+    def test_rejects_nonsensical_sizing(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_waiting=-1)
+
+
+class TestGate:
+    def test_admits_within_capacity(self):
+        gate = AdmissionGate(AdmissionConfig(max_inflight=2))
+        with gate.admit():
+            with gate.admit():
+                assert gate.snapshot()["inflight"] == 2
+        snap = gate.snapshot()
+        assert snap["inflight"] == 0
+        assert snap["admitted"] == 2
+
+    def test_full_wait_room_sheds_immediately(self):
+        gate = AdmissionGate(
+            AdmissionConfig(
+                max_inflight=1, max_waiting=0, retry_after_seconds=2.5
+            )
+        )
+        release = threading.Event()
+        holder = _hold(gate, release)
+        start = time.monotonic()
+        with pytest.raises(ShedError) as err:
+            gate.acquire()
+        assert time.monotonic() - start < 0.5  # zero-latency rejection
+        assert err.value.reason == "saturated"
+        assert err.value.retry_after == 2.5
+        release.set()
+        holder.join(timeout=5.0)
+        assert gate.snapshot()["shed_full"] == 1
+
+    def test_wait_timeout_sheds_with_bounded_latency(self):
+        gate = AdmissionGate(
+            AdmissionConfig(max_inflight=1, max_waiting=4, wait_seconds=0.2)
+        )
+        release = threading.Event()
+        holder = _hold(gate, release)
+        start = time.monotonic()
+        with pytest.raises(ShedError) as err:
+            gate.acquire()
+        elapsed = time.monotonic() - start
+        assert err.value.reason == "wait timeout"
+        assert 0.15 <= elapsed < 2.0
+        release.set()
+        holder.join(timeout=5.0)
+        snap = gate.snapshot()
+        assert snap["shed_timeout"] == 1
+        assert snap["waiting"] == 0  # the waiter slot was returned
+
+    def test_waiter_admitted_when_slot_frees(self):
+        gate = AdmissionGate(
+            AdmissionConfig(max_inflight=1, max_waiting=4, wait_seconds=5.0)
+        )
+        release = threading.Event()
+        holder = _hold(gate, release)
+        admitted = threading.Event()
+
+        def waiter() -> None:
+            with gate.admit():
+                admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        assert not admitted.is_set()
+        release.set()
+        assert admitted.wait(timeout=5.0), "freed slot never handed over"
+        holder.join(timeout=5.0)
+        thread.join(timeout=5.0)
+        assert gate.snapshot()["admitted"] == 2
+
+    def test_forced_sheds_consume_a_budget(self):
+        gate = AdmissionGate()
+        gate.force_shed(2)
+        for _ in range(2):
+            with pytest.raises(ShedError) as err:
+                gate.acquire()
+            assert err.value.reason == "shed-storm"
+        with gate.admit():  # budget spent: service recovers
+            pass
+        snap = gate.snapshot()
+        assert snap["shed_forced"] == 2
+        assert snap["admitted"] == 1
+
+    def test_force_shed_ignores_nonpositive(self):
+        gate = AdmissionGate()
+        gate.force_shed(0)
+        gate.force_shed(-3)
+        with gate.admit():
+            pass
+
+    def test_release_is_exception_safe(self):
+        gate = AdmissionGate(AdmissionConfig(max_inflight=1))
+        with pytest.raises(RuntimeError, match="boom"):
+            with gate.admit():
+                raise RuntimeError("boom")
+        with gate.admit():  # the slot came back
+            pass
+
+    def test_saturation_storm_stays_bounded(self):
+        """Many concurrent arrivals: all resolve, counters reconcile."""
+        gate = AdmissionGate(
+            AdmissionConfig(max_inflight=2, max_waiting=2, wait_seconds=0.4)
+        )
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def client() -> None:
+            try:
+                with gate.admit():
+                    time.sleep(0.05)
+                verdict = "ok"
+            except ShedError as exc:
+                verdict = exc.reason
+            with lock:
+                outcomes.append(verdict)
+
+        threads = [
+            threading.Thread(target=client, daemon=True) for _ in range(12)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert len(outcomes) == 12  # nobody hung
+        snap = gate.snapshot()
+        assert snap["inflight"] == 0 and snap["waiting"] == 0
+        assert outcomes.count("ok") == snap["admitted"] >= 2
+        shed = snap["shed_full"] + snap["shed_timeout"]
+        assert outcomes.count("ok") + shed == 12

@@ -1,0 +1,411 @@
+"""End-to-end robustness-service tests over real sockets.
+
+Each test binds a real :class:`ThreadingHTTPServer` on an ephemeral port
+(``port=0``) and drives it with stdlib ``urllib`` clients, so the full
+stack — HTTP skin, admission gate, indexed cache, queue dispatch — is
+exercised exactly as production traffic would.  The two invariants every
+test circles back to:
+
+* a served ``result`` is byte-identical to direct ``case.run()`` output
+  (compared through ``canonical_json``), hit or miss, faults or not;
+* every failure mode maps to a *structured* status (400/429/502/503/504)
+  — the service never hangs and never serves torn or wrong content.
+
+Miss-path tests run a real ``queue_worker`` on a thread (no subprocess
+startup tax); the CLI drain test at the bottom spawns the real ``serve``
+process and SIGTERMs it.
+"""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+
+import pytest
+
+from repro.campaign import ArtifactCache, QueueConfig, WorkQueue, queue_worker
+from repro.io.json_io import canonical_json, case_result_to_payload
+from repro.service import (
+    AdmissionConfig,
+    RobustnessService,
+    ServiceConfig,
+    case_from_query,
+    make_server,
+)
+from tests.campaign.faultlib import fault_env, fired_markers
+
+HIT = {"kind": "cholesky", "param": "3", "ul": "1.1", "n_random": "5", "base_seed": "7"}
+MISS = {"kind": "random", "param": "10", "ul": "1.1", "n_random": "5", "base_seed": "7"}
+
+FAST_QUEUE = QueueConfig(
+    lease_seconds=10.0, poll_seconds=0.05, max_attempts=2, backoff_seconds=0.0
+)
+
+
+def qs(params: dict[str, str]) -> str:
+    return "&".join(f"{k}={v}" for k, v in params.items())
+
+
+@pytest.fixture(scope="module")
+def hit_case():
+    return case_from_query(HIT)
+
+
+@pytest.fixture(scope="module")
+def hit_result(hit_case):
+    return hit_case.run()
+
+
+@pytest.fixture(scope="module")
+def miss_case():
+    return case_from_query(MISS)
+
+
+@pytest.fixture(scope="module")
+def miss_result(miss_case):
+    return miss_case.run()
+
+
+def _config(tmp_path, **overrides) -> ServiceConfig:
+    defaults = dict(
+        cache_dir=tmp_path / "cache",
+        queue_dir=tmp_path / "queue",
+        port=0,
+        workers=0,
+        deadline_seconds=30.0,
+        poll_seconds=0.02,
+        queue=FAST_QUEUE,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+@contextmanager
+def serving(config: ServiceConfig):
+    """An in-process service bound on an ephemeral port."""
+    service = RobustnessService(config)
+    httpd = make_server(service)
+    thread = threading.Thread(
+        target=httpd.serve_forever, kwargs={"poll_interval": 0.05}
+    )
+    thread.start()
+    try:
+        yield service
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.stop_fleet()
+        thread.join(timeout=10.0)
+
+
+@contextmanager
+def fleet_thread(service: RobustnessService):
+    """One real queue worker on a thread, draining the service's queue."""
+    stop = threading.Event()
+    thread = threading.Thread(
+        target=queue_worker,
+        args=(service.queue, service.cache.root),
+        kwargs=dict(
+            worker_id="inline0",
+            forever=True,
+            stop=stop,
+            env_faults=False,
+        ),
+        daemon=True,
+    )
+    thread.start()
+    try:
+        yield
+    finally:
+        stop.set()
+        thread.join(timeout=30.0)
+
+
+def get(service: RobustnessService, path: str, timeout: float = 60.0):
+    """GET against the running service; returns (status, headers, body)."""
+    url = f"http://127.0.0.1:{service.port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), json.loads(err.read())
+
+
+def assert_identical(body: dict, case, direct_result) -> None:
+    """The byte-identity invariant, end to end through the HTTP layer."""
+    assert body["key"] == case.key
+    assert canonical_json(body["result"]) == canonical_json(
+        case_result_to_payload(direct_result)
+    )
+
+
+class TestHitPath:
+    def test_hit_is_byte_identical_and_scan_free(
+        self, tmp_path, hit_case, hit_result
+    ):
+        config = _config(tmp_path)
+        ArtifactCache(config.cache_dir).store(hit_case, hit_result)
+        with serving(config) as service:
+            status, _, body = get(service, f"/case?{qs(HIT)}")
+            assert status == 200
+            assert body["source"] == "hit"
+            assert_identical(body, hit_case, hit_result)
+            # the O(1) assertion: a warm hit does zero directory scans
+            assert service.cache.stats.scans == 0
+            assert service.cache.stats.index_hits == 1
+            assert service.stats.hits == 1
+
+    def test_repeated_hits_stay_scan_free(
+        self, tmp_path, hit_case, hit_result
+    ):
+        config = _config(tmp_path)
+        ArtifactCache(config.cache_dir).store(hit_case, hit_result)
+        with serving(config) as service:
+            for _ in range(5):
+                status, _, body = get(service, f"/case?{qs(HIT)}")
+                assert status == 200 and body["source"] == "hit"
+            assert service.cache.stats.scans == 0
+            assert service.cache.stats.index_hits == 5
+
+
+class TestErrorSurface:
+    def test_bad_query_is_a_structured_400(self, tmp_path):
+        with serving(_config(tmp_path)) as service:
+            status, _, body = get(service, "/case?kind=mesh&param=3&ul=1.1")
+            assert status == 400
+            assert body["error"] == "bad-request"
+            assert "mesh" in body["detail"]
+            assert service.stats.bad_requests == 1
+
+    def test_unknown_parameter_is_a_400(self, tmp_path):
+        with serving(_config(tmp_path)) as service:
+            status, _, body = get(service, f"/case?{qs(HIT)}&gridn=65")
+            assert status == 400
+            assert "gridn" in body["detail"]
+
+    def test_unknown_route_is_a_404(self, tmp_path):
+        with serving(_config(tmp_path)) as service:
+            status, _, body = get(service, "/nope")
+            assert status == 404
+            assert body["error"] == "not-found"
+
+
+class TestMissPath:
+    def test_miss_dispatched_to_worker_is_byte_identical(
+        self, tmp_path, miss_case, miss_result
+    ):
+        with serving(_config(tmp_path)) as service:
+            with fleet_thread(service):
+                status, _, body = get(service, f"/case?{qs(MISS)}")
+            assert status == 200
+            assert body["source"] == "miss"
+            assert_identical(body, miss_case, miss_result)
+            assert service.stats.misses == 1
+            assert service.stats.computed == 1
+            # the computed artifact is now a warm, scan-free hit
+            scans_before = service.cache.stats.scans
+            status, _, body = get(service, f"/case?{qs(MISS)}")
+            assert status == 200 and body["source"] == "hit"
+            assert service.cache.stats.scans == scans_before
+
+    def test_deadline_is_a_504_and_the_task_survives(
+        self, tmp_path, miss_case
+    ):
+        config = _config(tmp_path, deadline_seconds=0.3)
+        with serving(config) as service:  # no workers anywhere
+            start = time.monotonic()
+            status, headers, body = get(service, f"/case?{qs(MISS)}")
+            elapsed = time.monotonic() - start
+            assert status == 504
+            assert body["error"] == "deadline"
+            assert elapsed < 10.0  # bounded, not hung
+            assert "Retry-After" in headers
+            task_id = body["task"]
+            assert task_id == f"case-{miss_case.key[:12]}"
+            # the work keeps cooking: task enqueued, nothing poisoned
+            assert task_id in service.queue.task_ids()
+            assert not service.queue.is_poisoned(task_id)
+            assert service.stats.timeouts == 1
+
+    def test_poisoned_task_is_a_502_with_report(self, tmp_path, miss_case):
+        config = _config(tmp_path)
+        poison_queue = WorkQueue(
+            config.queue_dir, QueueConfig(max_attempts=1)
+        ).init()
+        task_id = poison_queue.enqueue_case(miss_case)
+        assert poison_queue.claim(task_id, "w0")
+        poison_queue.fail(task_id, "synthetic failure")
+        assert poison_queue.is_poisoned(task_id)
+        with serving(config) as service:
+            status, _, body = get(service, f"/case?{qs(MISS)}")
+            assert status == 502
+            assert body["error"] == "poisoned"
+            assert body["task"] == task_id
+            assert body["report"]  # the poison report rides along
+            assert service.stats.poisoned == 1
+
+
+class TestShedding:
+    def test_saturated_gate_sheds_with_429(self, tmp_path):
+        config = _config(
+            tmp_path,
+            admission=AdmissionConfig(
+                max_inflight=1, max_waiting=0, retry_after_seconds=2.0
+            ),
+        )
+        with serving(config) as service:
+            with service.gate.admit():  # capacity fully held
+                status, headers, body = get(service, f"/case?{qs(HIT)}")
+            assert status == 429
+            assert body["error"] == "shed"
+            assert headers["Retry-After"] == "2"
+            assert body["retry_after"] == 2.0
+            assert service.stats.shed == 1
+
+    def test_shed_storm_fault_then_recovery(
+        self, tmp_path, hit_case, hit_result, monkeypatch
+    ):
+        config = _config(tmp_path)
+        ArtifactCache(config.cache_dir).store(hit_case, hit_result)
+        monkeypatch.setenv("REPRO_QUEUE_FAULT", "shed-storm:2")
+        with serving(config) as service:
+            statuses = [
+                get(service, f"/case?{qs(HIT)}")[0] for _ in range(3)
+            ]
+            assert statuses == [429, 429, 200]  # storm, then recovery
+            assert "shed-storm" in fired_markers(service.queue)
+            assert service.stats.shed == 2
+            assert service.gate.snapshot()["shed_forced"] == 2
+
+
+class TestFaultInjection:
+    def test_slow_cache_read_is_slow_but_correct(
+        self, tmp_path, hit_case, hit_result, monkeypatch
+    ):
+        config = _config(tmp_path)
+        ArtifactCache(config.cache_dir).store(hit_case, hit_result)
+        monkeypatch.setenv("REPRO_QUEUE_FAULT", "slow-cache-read:0.15")
+        with serving(config) as service:
+            start = time.monotonic()
+            status, _, body = get(service, f"/case?{qs(HIT)}")
+            assert time.monotonic() - start >= 0.15
+            assert status == 200
+            assert_identical(body, hit_case, hit_result)
+
+    def test_torn_index_degrades_to_probe_not_error(
+        self, tmp_path, hit_case, hit_result, monkeypatch
+    ):
+        config = _config(tmp_path)
+        warm = ArtifactCache(config.cache_dir)
+        warm.store(hit_case, hit_result)
+        assert warm.index_path.exists()
+        monkeypatch.setenv("REPRO_QUEUE_FAULT", "torn-index")
+        with serving(config) as service:
+            status, _, body = get(service, f"/case?{qs(HIT)}")
+            assert status == 200  # the tear never surfaces
+            assert body["source"] == "hit"
+            assert_identical(body, hit_case, hit_result)
+            assert "torn-index" in fired_markers(service.queue)
+            assert service.cache.stats.index_corrupt >= 1
+            # the fallback repaired the index: next hit is index-resolved
+            hits_before = service.cache.stats.index_hits
+            status, _, _ = get(service, f"/case?{qs(HIT)}")
+            assert status == 200
+            assert service.cache.stats.index_hits == hits_before + 1
+
+    def test_backend_hang_delays_dispatch_but_serves(
+        self, tmp_path, miss_case, miss_result, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_QUEUE_FAULT", "backend-hang:0.2")
+        with serving(_config(tmp_path)) as service:
+            with fleet_thread(service):
+                status, _, body = get(service, f"/case?{qs(MISS)}")
+            assert status == 200
+            assert body["source"] == "miss"
+            assert_identical(body, miss_case, miss_result)
+            assert "backend-hang" in fired_markers(service.queue)
+
+
+class TestOps:
+    def test_healthz_flips_to_draining(self, tmp_path):
+        with serving(_config(tmp_path)) as service:
+            status, _, body = get(service, "/healthz")
+            assert status == 200 and body["status"] == "ok"
+            service.stop_event.set()
+            status, _, body = get(service, "/healthz")
+            assert status == 503 and body["status"] == "draining"
+
+    def test_stats_exposes_every_layer(
+        self, tmp_path, hit_case, hit_result
+    ):
+        config = _config(tmp_path)
+        ArtifactCache(config.cache_dir).store(hit_case, hit_result)
+        with serving(config) as service:
+            assert get(service, f"/case?{qs(HIT)}")[0] == 200
+            status, _, body = get(service, "/stats")
+            assert status == 200
+            assert body["service"]["requests"] == 1
+            assert body["service"]["hits"] == 1
+            assert body["cache"]["scans"] == 0
+            assert body["cache"]["index_hits"] == 1
+            assert body["admission"]["admitted"] == 1
+            assert "open" in body["queue"]
+            assert isinstance(body["summary"], str)
+
+
+class TestCliDrain:
+    def test_sigterm_drains_gracefully(self, tmp_path, hit_case, hit_result):
+        """The real `serve` process: serve a hit, SIGTERM, exit 0 clean."""
+        cache_dir = tmp_path / "cache"
+        queue_dir = tmp_path / "queue"
+        ArtifactCache(cache_dir).store(hit_case, hit_result)
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.cli",
+                "serve",
+                "--cache-dir",
+                str(cache_dir),
+                "--queue-dir",
+                str(queue_dir),
+                "--port",
+                "0",
+                "--workers",
+                "1",
+                "--queue-poll",
+                "0.05",
+            ],
+            env=fault_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+            assert match, f"no bind banner, got: {banner!r}"
+            port = int(match.group(1))
+            url = f"http://127.0.0.1:{port}/case?{qs(HIT)}"
+            with urllib.request.urlopen(url, timeout=60) as resp:
+                assert resp.status == 200
+                body = json.loads(resp.read())
+            assert_identical(body, hit_case, hit_result)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+        except BaseException:
+            proc.kill()
+            proc.communicate()
+            raise
+        assert proc.returncode == 0, out
+        assert "serve drained" in out
+        assert "1 requests" in out and "1 hits" in out
+        # the drained fleet released everything: no claims left behind
+        queue = WorkQueue(queue_dir)
+        assert list(queue.claims_dir.glob("*")) == []

@@ -1,0 +1,98 @@
+"""Query-string → CampaignCase parsing: the service's 400 surface.
+
+The load-bearing property is *identity*: a query with only the required
+parameters must build the exact case the campaign CLI would build for the
+same suite/scale, because the case's content hash is the cache key — any
+drift turns every service request into a cache miss of a different case.
+"""
+
+import pytest
+
+from repro.campaign.spec import expand_suite
+from repro.experiments.cases import CaseSpec
+from repro.service import CaseSpecError, case_from_query
+
+BASE = {"kind": "cholesky", "param": "3", "ul": "1.1"}
+
+
+def query(**extra: str) -> dict[str, str]:
+    return {**BASE, **extra}
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("kind,param", [("random", 10), ("cholesky", 3), ("ge", 4)])
+    @pytest.mark.parametrize("scale", ["quick", "default"])
+    def test_defaults_match_campaign_expansion(self, kind, param, scale):
+        expected = expand_suite([CaseSpec(kind, param, 1.1)], scale)[0]
+        built = case_from_query(
+            {"kind": kind, "param": str(param), "ul": "1.1", "scale": scale}
+        )
+        assert built == expected
+        assert built.key == expected.key
+
+    def test_quick_scale_is_the_default(self):
+        assert case_from_query(query()) == case_from_query(
+            query(scale="quick")
+        )
+
+    def test_overrides_change_the_key(self):
+        base = case_from_query(query())
+        for override in (
+            {"n_random": "7"},
+            {"grid_n": "33"},
+            {"method": "dodin"},
+            {"base_seed": "1"},
+            {"instance": "2"},
+            {"fast_conv": "1"},
+            {"heuristics": "heft"},
+        ):
+            varied = case_from_query(query(**override))
+            assert varied.key != base.key, override
+
+    def test_heuristics_parsing(self):
+        case = case_from_query(query(heuristics="heft, bil"))
+        assert case.heuristics == ("heft", "bil")
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "params,fragment",
+        [
+            ({}, "missing required parameter 'kind'"),
+            ({"kind": "cholesky"}, "missing required parameter 'param'"),
+            ({"kind": "cholesky", "param": "3"}, "'ul'"),
+            (query(typo="1"), "unknown parameter"),
+            ({**BASE, "kind": "mesh"}, "kind must be one of"),
+            (query(param="0"), "param must be >= 1"),
+            (query(param="three"), "param must be an integer"),
+            (query(ul="0"), "ul must be > 0"),
+            (query(ul="wide"), "ul must be a number"),
+            (query(instance="-1"), "instance must be >= 0"),
+            (query(scale="galactic"), "galactic"),
+            (query(method="oracle"), "method must be one of"),
+            (query(n_random="-5"), "n_random must be >= 0"),
+            (query(grid_n="1"), "grid_n must be >= 2"),
+            (query(mc_realizations="0"), "mc_realizations must be >= 1"),
+            (query(fast_conv="maybe"), "fast_conv must be a boolean"),
+            (query(mc_batch="1"), "mc_batch requires method=montecarlo"),
+            (query(heuristics=", ,"), "at least one heuristic"),
+        ],
+        ids=lambda v: v if isinstance(v, str) else "",
+    )
+    def test_bad_queries_raise_named_errors(self, params, fragment):
+        with pytest.raises(CaseSpecError) as err:
+            case_from_query(params)
+        assert fragment in str(err.value)
+
+    def test_unknown_parameter_is_named(self):
+        with pytest.raises(CaseSpecError) as err:
+            case_from_query(query(gridn="65"))
+        assert "gridn" in str(err.value)
+
+    def test_mc_batch_allowed_with_montecarlo(self):
+        case = case_from_query(query(method="montecarlo", mc_batch="yes"))
+        assert case.mc_batch is True
+
+    def test_error_is_a_value_error(self):
+        # the server relies on CaseSpecError staying a ValueError subtype
+        assert issubclass(CaseSpecError, ValueError)
