@@ -408,6 +408,20 @@ class ArtifactCache:
             self._index_record(case, _result_digest(case_result_to_payload(result)))
         return result
 
+    def has(self, case: CampaignCase) -> bool:
+        """O(1) presence probe: is an artifact for ``case`` on disk?
+
+        Consults the current index snapshot, else stats the artifact
+        path directly — never reads content, never scans the directory.
+        This is the sweep engine's warm/cold splitter, so it must stay
+        cheap at thousands of cases; content validity is still enforced
+        by :meth:`lookup` when the artifact is actually read.
+        """
+        index = self.current_index()
+        if index is not None and case.key in index.entries:
+            return True
+        return self.path_for(case).exists()
+
     # ------------------------------------------------------------------ #
     # streaming iteration
     # ------------------------------------------------------------------ #

@@ -685,6 +685,42 @@ class WorkQueue:
             failed_attempts=sum(self.attempts(t) for t in ids),
         )
 
+    def status_payload(self) -> dict:
+        """Machine-readable queue state (``campaign queue-status --json``).
+
+        One consistent-enough snapshot for CI jobs and ops scripts:
+        aggregate counts plus a per-task ``{state, attempts}`` map with
+        state precedence done > poisoned > claimed > open (each task is
+        reported in exactly one state), and the full poison reports.
+        """
+        tasks: dict[str, dict] = {}
+        counts = {"done": 0, "poisoned": 0, "claimed": 0, "open": 0}
+        for task_id in self.task_ids():
+            if self.has_partial(task_id):
+                state = "done"
+            elif self.is_poisoned(task_id):
+                state = "poisoned"
+            elif self.claim_path(task_id).exists():
+                state = "claimed"
+            else:
+                state = "open"
+            counts[state] += 1
+            tasks[task_id] = {
+                "state": state,
+                "attempts": self.attempts(task_id),
+            }
+        return {
+            "format": "repro-queue-status-v1",
+            "total": len(tasks),
+            "done": counts["done"],
+            "poisoned": counts["poisoned"],
+            "claimed": counts["claimed"],
+            "open": counts["open"],
+            "failed_attempts": sum(t["attempts"] for t in tasks.values()),
+            "tasks": tasks,
+            "poisoned_tasks": self.poisoned(),
+        }
+
 
 # ---------------------------------------------------------------------- #
 # deterministic fault injection (the test seams)

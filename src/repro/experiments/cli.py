@@ -114,6 +114,25 @@ Cache hits answer in O(1) via the persistent cache index; misses are
 enqueued as single-case tasks and computed by the worker fleet within a
 per-request deadline.  Overload sheds with 429 + ``Retry-After``;
 ``/healthz`` and ``/stats`` expose liveness and counters.
+
+Case-set sweeps
+---------------
+``campaign sweep`` selects a whole suite with one case-set expression
+(see :mod:`repro.caseset`) and aggregates it — computing only what the
+cache does not already hold::
+
+    repro-experiments campaign sweep \\
+        'graph[chol84,ge90] x ul[0.1-0.6/0.1] x seed[0-9]' \\
+        --cache-dir cache/ --jobs 4 --json sweep.json
+
+``--fold`` prints the canonical compact form, ``--expand`` lists the
+expanded cases, and ``--from-cache`` aggregates only what is already
+cached (exit 1 + the *missing subset folded back to an expression* when
+incomplete — paste it straight into the next sweep).  The same resolver
+backs ``GET /sweep?expr=...`` on the service, which streams incremental
+aggregate updates (SSE or NDJSON) while the fleet computes the cold
+subset; ``campaign queue-status --json`` exposes machine-readable queue
+state for scripts and CI.
 """
 
 from __future__ import annotations
@@ -544,6 +563,60 @@ def _campaign_main(argv: list[str]) -> int:
         help="report a work queue's task states and poisoned shards",
     )
     p_qstatus.add_argument("queue_dir", type=pathlib.Path)
+    p_qstatus.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable state (counts, per-task attempts, "
+        "poison reports) as canonical JSON on stdout",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="select a suite with a case-set expression and aggregate it, "
+        "computing only the cases the cache is missing",
+    )
+    p_sweep.add_argument(
+        "expr",
+        help="case-set expression, e.g. "
+        "'graph[chol84,ge90] x ul[0.1-0.6/0.1] x seed[0-9]'",
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"artifact cache to aggregate from (default: {DEFAULT_CACHE_DIR})",
+    )
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N")
+    p_sweep.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="OUT",
+        help="also dump the sweep aggregate as canonical JSON",
+    )
+    p_sweep.add_argument(
+        "--fold",
+        action="store_true",
+        help="print the canonical folded form of the expression and exit",
+    )
+    p_sweep.add_argument(
+        "--expand",
+        action="store_true",
+        help="print the expanded case list and exit",
+    )
+    p_sweep.add_argument(
+        "--from-cache",
+        action="store_true",
+        help="aggregate only what the cache already holds (never compute); "
+        "exit 1 and print the missing subset as a foldable expression "
+        "when incomplete",
+    )
+    p_sweep.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every case even when a valid artifact exists",
+    )
 
     p_verify = sub.add_parser(
         "verify-cache",
@@ -714,6 +787,10 @@ def _campaign_main(argv: list[str]) -> int:
         if not args.queue_dir.is_dir():
             parser.error(f"queue directory {args.queue_dir} does not exist")
         queue = WorkQueue(args.queue_dir)
+        if args.json:
+            payload = queue.status_payload()
+            print(canonical_json(payload))
+            return 0 if payload["poisoned"] == 0 else 1
         status = queue.status()
         print(f"[{args.queue_dir}: {status.render()}]")
         for task_id, report in queue.poisoned().items():
@@ -722,6 +799,69 @@ def _campaign_main(argv: list[str]) -> int:
                 f"attempt(s) — {report.get('reason', 'unknown')}"
             )
         return 0 if status.poisoned == 0 else 1
+
+    if args.cmd == "sweep":
+        from repro.caseset import CaseSetError
+        from repro.caseset import parse as parse_caseset
+
+        try:
+            caseset = parse_caseset(args.expr)
+        except CaseSetError as exc:
+            parser.error(str(exc))
+        if args.fold:
+            print(caseset.fold())
+            return 0
+        cases = caseset.cases()
+        if args.expand:
+            for case in cases:
+                print(case.name)
+            print(f"[{len(cases)} case(s) — {caseset.fold()}]")
+            return 0
+        if args.from_cache:
+            if not args.cache_dir.is_dir():
+                parser.error(
+                    f"cache directory {args.cache_dir} does not exist"
+                )
+            cache = ArtifactCache(args.cache_dir)
+            missing = caseset - caseset.subset(
+                c.key for c in cases if cache.has(c)
+            )
+            try:
+                result = fig6_aggregate.aggregate_from_cache(
+                    cases=cases, cache=cache
+                )
+            except ValueError as exc:
+                parser.error(str(exc))
+            print(result.render())
+            print(
+                f"[sweep {caseset.fold()}: {result.n_cases}/{len(cases)} "
+                f"case(s) aggregated from {args.cache_dir}, "
+                "nothing recomputed]"
+            )
+            if args.json is not None:
+                _write_aggregate_json(args.json, result.suite_aggregate())
+            if missing:
+                print(f"[missing: {missing.fold()}]")
+                return 1
+            return 0
+        # Compute path: one single-shard manifest through the campaign
+        # runner — cached cases load, missing ones compute, and the merged
+        # aggregate folds in case order, identically to the service's
+        # streamed sweep over the same expression.
+        manifest = partition_cases(list(enumerate(cases)), 1)[0]
+        partial = run_shard(
+            manifest, args.cache_dir, jobs=args.jobs, force=args.force
+        )
+        merged = merge_partials([partial])
+        print(merged.render())
+        print(
+            f"[sweep {caseset.fold()}: "
+            f"{merged.aggregate.n_cases}/{len(cases)} case(s), "
+            f"{merged.computed} computed, {merged.cached} cached]"
+        )
+        if args.json is not None:
+            _write_aggregate_json(args.json, merged.aggregate)
+        return 0
 
     # verify-cache
     if not args.cache_dir.is_dir():

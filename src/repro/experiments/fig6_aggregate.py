@@ -26,6 +26,7 @@ import numpy as np
 from repro.campaign import (
     ArtifactCache,
     Campaign,
+    CampaignCase,
     ExecutionBackend,
     SuiteAggregate,
     SuiteAggregator,
@@ -211,6 +212,7 @@ def aggregate_from_cache(
     specs: list[CaseSpec] | None = None,
     cache: ArtifactCache | None = None,
     fast_conv: bool = False,
+    cases: "list[CampaignCase] | None" = None,
 ) -> Fig6Result:
     """Summarize an existing campaign cache — no case is ever recomputed.
 
@@ -222,6 +224,11 @@ def aggregate_from_cache(
     completed (``n_cases`` reports how many), and missing cases are simply
     skipped.
 
+    With ``cases`` given (e.g. a :meth:`repro.caseset.CaseSet.cases`
+    expansion), the suite-expansion step is bypassed and the fold runs
+    over exactly that ordered case list — this is the oracle the sweep
+    engine's streamed aggregate must match byte for byte.
+
     Raises :class:`ValueError` when the cache holds no artifact of the
     suite at all.
     """
@@ -230,7 +237,8 @@ def aggregate_from_cache(
     scale = get_scale(scale)
     if specs is None:
         specs = default_suite()
-    cases = expand_suite(specs, scale, base_seed=seed, fast_conv=fast_conv)
+    if cases is None:
+        cases = expand_suite(specs, scale, base_seed=seed, fast_conv=fast_conv)
     # Cache iteration visits cases in case order, so immediate folding
     # (ordered=False) follows the same canonical fold sequence as `run` —
     # while tolerating holes left by interrupted sweeps.

@@ -14,10 +14,12 @@ from repro.service.server import (
     RobustnessService,
     ServiceConfig,
     ServiceStats,
+    SweepStream,
     make_server,
     serve,
 )
 from repro.service.spec import CaseSpecError, case_from_query
+from repro.service.sweep import SweepRequest, sweep_from_query
 
 __all__ = [
     "AdmissionConfig",
@@ -27,7 +29,10 @@ __all__ = [
     "ServiceConfig",
     "ServiceStats",
     "ShedError",
+    "SweepRequest",
+    "SweepStream",
     "case_from_query",
     "make_server",
     "serve",
+    "sweep_from_query",
 ]

@@ -91,6 +91,9 @@ class AdmissionGate:
         self.shed_full = 0
         self.shed_timeout = 0
         self.shed_forced = 0
+        #: High-water marks (capacity-tuning signals on ``/stats``).
+        self.inflight_hwm = 0
+        self.waiting_hwm = 0
 
     def force_shed(self, n: int) -> None:
         """Arm the gate to shed the next ``n`` admissions (fault seam)."""
@@ -99,25 +102,34 @@ class AdmissionGate:
         with self._cond:
             self.forced_sheds += n
 
-    def acquire(self) -> None:
-        """Admit the calling request or raise :class:`ShedError`."""
+    def acquire(self, weight: int = 1) -> int:
+        """Admit the calling request or raise :class:`ShedError`.
+
+        ``weight`` is the number of in-flight slots the request counts
+        for — a sweep weighs its expanded case count, so one big sweep
+        occupies the gate like the equivalent burst of point queries.
+        The effective weight (clamped to ``[1, max_inflight]`` so a
+        legal sweep can always eventually admit) is returned and must be
+        handed back to :meth:`release`.
+        """
         cfg = self.config
+        weight = max(1, min(int(weight), cfg.max_inflight))
         with self._cond:
             if self.forced_sheds > 0:
                 self.forced_sheds -= 1
                 self.shed_forced += 1
                 raise ShedError("shed-storm", cfg.retry_after_seconds)
-            if self.inflight < cfg.max_inflight:
-                self.inflight += 1
-                self.admitted += 1
-                return
+            if self.inflight + weight <= cfg.max_inflight:
+                self._admit_locked(weight)
+                return weight
             if self.waiting >= cfg.max_waiting:
                 self.shed_full += 1
                 raise ShedError("saturated", cfg.retry_after_seconds)
             self.waiting += 1
+            self.waiting_hwm = max(self.waiting_hwm, self.waiting)
             deadline = time.monotonic() + cfg.wait_seconds
             try:
-                while self.inflight >= cfg.max_inflight:
+                while self.inflight + weight > cfg.max_inflight:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         self.shed_timeout += 1
@@ -125,25 +137,31 @@ class AdmissionGate:
                             "wait timeout", cfg.retry_after_seconds
                         )
                     self._cond.wait(remaining)
-                self.inflight += 1
-                self.admitted += 1
+                self._admit_locked(weight)
+                return weight
             finally:
                 self.waiting -= 1
 
-    def release(self) -> None:
-        """Return an admitted request's slot and wake one waiter."""
+    def _admit_locked(self, weight: int) -> None:
+        """Book an admission of ``weight`` slots (caller holds the lock)."""
+        self.inflight += weight
+        self.admitted += 1
+        self.inflight_hwm = max(self.inflight_hwm, self.inflight)
+
+    def release(self, weight: int = 1) -> None:
+        """Return an admitted request's slots and wake the waiters."""
         with self._cond:
-            self.inflight -= 1
-            self._cond.notify()
+            self.inflight -= weight
+            self._cond.notify_all()
 
     @contextmanager
-    def admit(self) -> Iterator[None]:
+    def admit(self, weight: int = 1) -> Iterator[None]:
         """``with gate.admit():`` — acquire on entry, release on exit."""
-        self.acquire()
+        effective = self.acquire(weight)
         try:
             yield
         finally:
-            self.release()
+            self.release(effective)
 
     def snapshot(self) -> dict:
         """Consistent counter snapshot for ``/stats``."""
@@ -155,4 +173,6 @@ class AdmissionGate:
                 "shed_full": self.shed_full,
                 "shed_timeout": self.shed_timeout,
                 "shed_forced": self.shed_forced,
+                "inflight_hwm": self.inflight_hwm,
+                "waiting_hwm": self.waiting_hwm,
             }

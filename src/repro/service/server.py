@@ -47,9 +47,10 @@ import threading
 import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 from urllib.parse import parse_qsl, urlsplit
 
+from repro.campaign.aggregate import SuiteAggregator, suite_aggregate_to_payload
 from repro.campaign.cache import ArtifactCache
 from repro.campaign.queue import (
     FaultInjector,
@@ -58,14 +59,17 @@ from repro.campaign.queue import (
     WorkQueue,
 )
 from repro.campaign.spec import CampaignCase
+from repro.caseset import CaseSetError
 from repro.io.json_io import canonical_json, case_result_to_payload
 from repro.service.admission import AdmissionConfig, AdmissionGate, ShedError
 from repro.service.spec import CaseSpecError, case_from_query
+from repro.service.sweep import SweepRequest, sweep_from_query
 
 __all__ = [
     "RobustnessService",
     "ServiceConfig",
     "ServiceStats",
+    "SweepStream",
     "make_server",
     "serve",
 ]
@@ -97,6 +101,12 @@ class ServiceConfig:
         Queue lease/retry policy for the fleet.
     force:
         Recompute even on artifact presence (debugging only).
+    sweep_deadline_seconds:
+        Whole-sweep compute budget (sweeps poll much longer than point
+        queries — they wait for a whole cold subset to land).
+    max_sweep_cases:
+        Largest expansion a single ``/sweep`` expression may select;
+        oversize expressions are 400s before any work starts.
     """
 
     cache_dir: pathlib.Path
@@ -110,6 +120,8 @@ class ServiceConfig:
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
     queue: QueueConfig = field(default_factory=QueueConfig)
     force: bool = False
+    sweep_deadline_seconds: float = 600.0
+    max_sweep_cases: int = 4096
 
 
 @dataclass
@@ -129,12 +141,18 @@ class ServiceStats:
     timeouts: int = 0
     poisoned: int = 0
     backend_errors: int = 0
+    sweeps: int = 0
+    sweep_cases: int = 0
+    sweep_warm: int = 0
+    sweep_cold: int = 0
 
     def summary(self) -> str:
         """One-line human summary for logs and reports."""
         return (
             f"{self.requests} requests, {self.hits} hits / "
             f"{self.misses} misses ({self.computed} computed), "
+            f"{self.sweeps} sweeps ({self.sweep_cases} cases, "
+            f"{self.sweep_warm} warm / {self.sweep_cold} cold), "
             f"{self.shed} shed, {self.bad_requests} bad, "
             f"{self.timeouts} timed out, {self.poisoned} poisoned, "
             f"{self.backend_errors} backend errors"
@@ -152,6 +170,10 @@ class ServiceStats:
             "timeouts": self.timeouts,
             "poisoned": self.poisoned,
             "backend_errors": self.backend_errors,
+            "sweeps": self.sweeps,
+            "sweep_cases": self.sweep_cases,
+            "sweep_warm": self.sweep_warm,
+            "sweep_cold": self.sweep_cold,
         }
 
 
@@ -320,6 +342,192 @@ class RobustnessService:
             f"could not enqueue case task: {last}"
         )
 
+    # -- the sweep engine ------------------------------------------------ #
+
+    def handle_sweep(
+        self, params: Mapping[str, str]
+    ) -> "tuple[int, dict[str, str], dict | SweepStream]":
+        """Serve one ``/sweep`` query; returns (status, headers, body).
+
+        A non-stream body (dict) is a structured refusal: 400 for a
+        malformed expression, 429 when the gate sheds.  A 200 carries a
+        :class:`SweepStream` whose frames the HTTP layer writes as they
+        are produced; the caller owns the stream and must ``close()`` it
+        (that returns the sweep's admission weight to the gate).
+
+        A sweep counts as its expanded size against the in-flight caps:
+        ``gate.acquire(weight=n_cases)`` — one 500-case sweep occupies
+        the gate like a burst of 500 point queries, so sweeps cannot
+        starve point traffic unnoticed.
+        """
+        self._count(requests=1)
+        try:
+            request = sweep_from_query(
+                params, max_cases=self.config.max_sweep_cases
+            )
+        except CaseSetError as exc:
+            self._count(bad_requests=1)
+            return 400, {}, {"error": "bad-sweep", "detail": str(exc)}
+        try:
+            weight = self.gate.acquire(weight=len(request.cases))
+        except ShedError as exc:
+            self._count(shed=1)
+            return (
+                429,
+                {"Retry-After": f"{exc.retry_after:g}"},
+                {
+                    "error": "shed",
+                    "detail": str(exc),
+                    "retry_after": exc.retry_after,
+                },
+            )
+        self._count(sweeps=1, sweep_cases=len(request.cases))
+        return 200, {}, SweepStream(self, request, weight)
+
+    def _sweep_events(
+        self, request: SweepRequest
+    ) -> "Iterator[tuple[str, dict]]":
+        """Yield the sweep's event sequence: start → update* → done|error.
+
+        The warm/cold split probes the cache index (O(1) per case, zero
+        directory scans); the cold subset is enqueued on the fleet, then
+        the loop folds artifacts into a :class:`SuiteAggregator` in
+        strict case order — each ``update`` aggregates exactly the
+        expansion prefix ``[0, done)``, so successive updates fold
+        strict supersets (monotone by construction) and the final
+        ``done`` aggregate performs the identical fold-op sequence as
+        :func:`~repro.experiments.fig6_aggregate.aggregate_from_cache`
+        over the same case list — byte-identical canonical JSON.
+        """
+        cfg = self.config
+        caseset = request.cases
+        cases = caseset.cases()
+        total = len(cases)
+        deadline = time.monotonic() + cfg.sweep_deadline_seconds
+        if self.injector is not None:
+            self.injector.on_cache_read()
+            self.injector.on_index_refresh(self.cache.index_path)
+        warm = (
+            set()
+            if cfg.force
+            else {c.key for c in cases if self.cache.has(c)}
+        )
+        cold = [c for c in cases if c.key not in warm]
+        self._count(sweep_warm=len(warm), sweep_cold=len(cold))
+
+        def missing_expr(start: int) -> str:
+            landed = {cases[i].key for i in range(start)}
+            return caseset.subset(
+                c.key for c in cases[start:] if c.key not in landed
+            ).fold()
+
+        yield "start", {
+            "expr": caseset.fold(),
+            "n_cases": total,
+            "warm": total - len(cold),
+            "cold": len(cold),
+            "missing": caseset.subset(c.key for c in cold).fold(),
+        }
+        task_ids: dict[str, str] = {}
+        try:
+            for case in cold:
+                task_ids[case.key] = self._enqueue_with_retry(case, deadline)
+        except _BackendUnavailable as exc:
+            self._count(backend_errors=1)
+            yield "error", {
+                "error": "backend-unavailable",
+                "detail": str(exc),
+                "missing": missing_expr(0),
+            }
+            return
+
+        aggregator = SuiteAggregator(ordered=False)
+        done = 0
+        emitted = 0
+        last_frame = time.monotonic()
+        while done < total:
+            while done < total:
+                case = cases[done]
+                result = (
+                    self.cache.lookup(case)
+                    if self.cache.path_for(case).exists()
+                    else None
+                )
+                if result is None:
+                    # A warm case can vanish between the split and the
+                    # read (pruned/corrupted artifact): dispatch it like
+                    # a cold one and wait for the fleet to re-land it.
+                    if case.key not in task_ids:
+                        try:
+                            task_ids[case.key] = self._enqueue_with_retry(
+                                case, deadline
+                            )
+                        except _BackendUnavailable as exc:
+                            self._count(backend_errors=1)
+                            yield "error", {
+                                "error": "backend-unavailable",
+                                "detail": str(exc),
+                                "missing": missing_expr(done),
+                            }
+                            return
+                    break
+                aggregator.add_case(done, case, result)
+                done += 1
+            if done >= total:
+                break
+            now = time.monotonic()
+            if done > emitted:
+                emitted = done
+                yield "update", {
+                    "done": done,
+                    "total": total,
+                    "aggregate": suite_aggregate_to_payload(
+                        aggregator.finalize()
+                    ),
+                }
+                last_frame = now
+            task_id = task_ids.get(cases[done].key)
+            if task_id is not None and self.queue.is_poisoned(task_id):
+                self._count(poisoned=1)
+                yield "error", {
+                    "error": "poisoned",
+                    "detail": f"task {task_id} exhausted its retry budget",
+                    "task": task_id,
+                    "report": self.queue.poisoned().get(task_id, {}),
+                    "missing": missing_expr(done),
+                }
+                return
+            if self.stop_event.is_set():
+                yield "error", {
+                    "error": "draining",
+                    "detail": "service is shutting down",
+                    "missing": missing_expr(done),
+                }
+                return
+            if now >= deadline:
+                self._count(timeouts=1)
+                yield "error", {
+                    "error": "deadline",
+                    "detail": (
+                        f"sweep not complete within "
+                        f"{cfg.sweep_deadline_seconds:g}s; missing cases "
+                        "remain enqueued — retry later for a warm sweep"
+                    ),
+                    "missing": missing_expr(done),
+                }
+                return
+            if now - last_frame >= 10.0:
+                yield "ping", {}
+                last_frame = now
+            time.sleep(cfg.poll_seconds)
+        yield "done", {
+            "done": done,
+            "total": total,
+            "warm": total - len(cold),
+            "cold": len(cold),
+            "aggregate": suite_aggregate_to_payload(aggregator.finalize()),
+        }
+
     # -- auxiliary endpoints -------------------------------------------- #
 
     def healthz(self) -> tuple[int, dict[str, str], dict]:
@@ -461,6 +669,83 @@ class RobustnessService:
             log.close()
 
 
+class SweepStream:
+    """One admitted sweep: an event stream plus its gate bookkeeping.
+
+    The stream owns the sweep's admission weight, and :meth:`close` is
+    the *only* place it is returned — an explicit, idempotent method
+    rather than a generator ``finally`` because closing a never-started
+    generator would skip its cleanup entirely.  The HTTP handler (and
+    any direct caller) must close the stream in a ``finally``; the
+    context-manager form does so automatically.
+
+    :meth:`events` yields ``(event, payload)`` pairs; :meth:`frames`
+    renders them for the wire in the request's format — ``sse``
+    (``event:``/``data:`` blocks, pings as comment lines, `curl -N`
+    friendly) or ``ndjson`` (one canonical-JSON object per line with
+    the event name inlined).
+    """
+
+    def __init__(
+        self,
+        service: RobustnessService,
+        request: SweepRequest,
+        weight: int,
+    ):
+        self.service = service
+        self.request = request
+        self._weight = weight
+        self._closed = False
+        self._lock = threading.Lock()
+
+    @property
+    def format(self) -> str:
+        """The negotiated stream format (``sse`` or ``ndjson``)."""
+        return self.request.format
+
+    @property
+    def content_type(self) -> str:
+        """The Content-Type header for this stream's format."""
+        if self.request.format == "sse":
+            return "text/event-stream"
+        return "application/x-ndjson"
+
+    def events(self) -> Iterator[tuple[str, dict]]:
+        """The sweep's ``(event, payload)`` sequence (lazy)."""
+        return self.service._sweep_events(self.request)
+
+    def frames(self) -> Iterator[bytes]:
+        """Wire-encoded frames, one per event, flush-worthy each."""
+        sse = self.request.format == "sse"
+        for event, payload in self.events():
+            if sse:
+                if event == "ping":
+                    yield b": ping\n\n"
+                else:
+                    yield (
+                        f"event: {event}\n"
+                        f"data: {canonical_json(payload)}\n\n"
+                    ).encode()
+            else:
+                yield (
+                    canonical_json({"event": event, **payload}) + "\n"
+                ).encode()
+
+    def close(self) -> None:
+        """Return the sweep's slots to the admission gate (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.service.gate.release(self._weight)
+
+    def __enter__(self) -> "SweepStream":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Thin HTTP skin over :class:`RobustnessService`."""
 
@@ -474,6 +759,12 @@ class _Handler(BaseHTTPRequestHandler):
         if url.path == "/case":
             params = dict(parse_qsl(url.query, keep_blank_values=True))
             status, headers, payload = service.handle_case(params)
+        elif url.path == "/sweep":
+            params = dict(parse_qsl(url.query, keep_blank_values=True))
+            status, headers, payload = service.handle_sweep(params)
+            if isinstance(payload, SweepStream):
+                self._stream(status, headers, payload)
+                return
         elif url.path == "/healthz":
             status, headers, payload = service.healthz()
         elif url.path == "/stats":
@@ -485,6 +776,36 @@ class _Handler(BaseHTTPRequestHandler):
                 {"error": "not-found", "detail": f"no route {url.path!r}"},
             )
         self._reply(status, headers, payload)
+
+    def _stream(
+        self, status: int, headers: dict[str, str], stream: SweepStream
+    ) -> None:
+        """Write one event stream: headers, then flushed frames to EOF.
+
+        No ``Content-Length`` — the response is delimited by connection
+        close (``Connection: close`` + ``close_connection``), which is
+        valid HTTP/1.1 and what SSE clients (`curl -N`, EventSource)
+        expect.  Each frame is flushed as produced so partial aggregates
+        reach the client while the cold subset is still cooking; a
+        vanished client just ends the sweep (the gate weight is returned
+        in the ``finally``).
+        """
+        self.close_connection = True
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", stream.content_type)
+            self.send_header("Cache-Control", "no-store")
+            self.send_header("Connection", "close")
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            for frame in stream.frames():
+                self.wfile.write(frame)
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client gave up; the queue keeps cooking the cold set
+        finally:
+            stream.close()
 
     def _reply(
         self, status: int, headers: dict[str, str], payload: dict

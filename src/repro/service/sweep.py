@@ -1,0 +1,68 @@
+"""Sweep-query resolution: ``GET /sweep?...`` params → a validated CaseSet.
+
+The sweep endpoint's contract mirrors ``/case`` (see
+:mod:`repro.service.spec`): every way a query can be malformed — unknown
+parameter, empty/unknown expression, an expansion over the configured
+cap — raises :class:`~repro.caseset.CaseSetError` with a message naming
+the offending fragment, which the server maps to a structured 400.
+Anything the parser accepts expands to the exact
+:class:`~repro.campaign.spec.CampaignCase` list the campaign and ``/case``
+layers would build, so sweep answers share artifacts with every other
+entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.caseset import CaseSet, CaseSetError, parse
+
+__all__ = ["SweepRequest", "sweep_from_query"]
+
+#: Every query parameter ``/sweep`` understands.
+_KNOWN_PARAMS = ("expr", "format")
+
+#: Supported stream formats: Server-Sent Events or newline-delimited JSON.
+_FORMATS = ("sse", "ndjson")
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A validated sweep: the expression, its expansion, and the format."""
+
+    expr: str
+    cases: CaseSet
+    format: str
+
+
+def sweep_from_query(
+    params: Mapping[str, str], max_cases: int | None = None
+) -> SweepRequest:
+    """Resolve ``/sweep`` query parameters or raise :class:`CaseSetError`.
+
+    ``max_cases`` (the service's ``max_sweep_cases``) bounds the
+    expansion before any per-case work happens — an oversized expression
+    is a 400, not a half-started sweep.
+    """
+    unknown = sorted(set(params) - set(_KNOWN_PARAMS))
+    if unknown:
+        raise CaseSetError(
+            f"unknown sweep parameter(s) {unknown}; "
+            f"expected a subset of {list(_KNOWN_PARAMS)}"
+        )
+    expr = params.get("expr", "").strip()
+    if not expr:
+        raise CaseSetError("missing required parameter 'expr'")
+    fmt = params.get("format", "sse").strip().lower()
+    if fmt not in _FORMATS:
+        raise CaseSetError(
+            f"format must be one of {list(_FORMATS)}, got {fmt!r}"
+        )
+    caseset = parse(expr, max_cases=max_cases)
+    if not caseset:
+        raise CaseSetError(
+            f"expression selects no cases (difference cancelled "
+            f"everything?): {expr!r}"
+        )
+    return SweepRequest(expr=expr, cases=caseset, format=fmt)

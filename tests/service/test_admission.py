@@ -134,6 +134,74 @@ class TestGate:
         with gate.admit():  # the slot came back
             pass
 
+    def test_weighted_acquire_counts_as_its_size(self):
+        """A sweep-sized acquire consumes that many slots at once."""
+        gate = AdmissionGate(AdmissionConfig(max_inflight=4, max_waiting=0))
+        weight = gate.acquire(weight=3)
+        assert weight == 3
+        assert gate.snapshot()["inflight"] == 3
+        with gate.admit():  # one slot left: a point query still fits
+            assert gate.snapshot()["inflight"] == 4
+            with pytest.raises(ShedError):
+                gate.acquire()  # ...but not a second one
+        gate.release(weight)
+        assert gate.snapshot()["inflight"] == 0
+
+    def test_weight_clamps_to_gate_capacity(self):
+        """An oversized sweep admits alone rather than deadlocking."""
+        gate = AdmissionGate(AdmissionConfig(max_inflight=2, max_waiting=0))
+        weight = gate.acquire(weight=10)
+        assert weight == 2  # clamped: full gate, not an impossible wait
+        assert gate.snapshot()["inflight"] == 2
+        gate.release(weight)
+        assert gate.snapshot()["inflight"] == 0
+
+    def test_weighted_waiter_needs_enough_free_slots(self):
+        """A weight-2 waiter admits only after *both* slots free up."""
+        gate = AdmissionGate(
+            AdmissionConfig(max_inflight=2, max_waiting=4, wait_seconds=5.0)
+        )
+        releases = [threading.Event(), threading.Event()]
+        holders = [_hold(gate, release) for release in releases]
+        admitted = threading.Event()
+
+        def waiter() -> None:
+            with gate.admit(weight=2):
+                admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        time.sleep(0.1)
+        assert not admitted.is_set()
+        releases[0].set()  # one slot free: still not enough for weight 2
+        time.sleep(0.2)
+        assert not admitted.is_set()
+        releases[1].set()
+        assert admitted.wait(timeout=5.0), "freed slots never handed over"
+        for holder in holders:
+            holder.join(timeout=5.0)
+        thread.join(timeout=5.0)
+        assert gate.snapshot()["inflight"] == 0
+
+    def test_high_water_marks_survive_the_load(self):
+        """hwm counters record the peak, not the current, occupancy."""
+        gate = AdmissionGate(
+            AdmissionConfig(max_inflight=3, max_waiting=2, wait_seconds=0.2)
+        )
+        weight = gate.acquire(weight=3)
+        with pytest.raises(ShedError):  # waits, times out: waiting_hwm=1
+            gate.acquire()
+        gate.release(weight)
+        snap = gate.snapshot()
+        assert snap["inflight"] == 0
+        assert snap["inflight_hwm"] == 3
+        assert snap["waiting_hwm"] == 1
+
+    def test_snapshot_has_the_hwm_keys(self):
+        snap = AdmissionGate().snapshot()
+        assert snap["inflight_hwm"] == 0
+        assert snap["waiting_hwm"] == 0
+
     def test_saturation_storm_stays_bounded(self):
         """Many concurrent arrivals: all resolve, counters reconcile."""
         gate = AdmissionGate(
