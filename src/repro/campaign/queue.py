@@ -83,6 +83,7 @@ from repro.campaign.shard import (
 )
 from repro.campaign.spec import CampaignCase
 from repro.core.study import CaseResult
+from repro.io.atomic import write_atomic
 from repro.io.json_io import canonical_json
 
 __all__ = [
@@ -342,8 +343,18 @@ class WorkQueue:
         self.init()
         manifests = list(manifests)
         existing = [t for t in self.task_ids() if _TASK_STEM.match(t)]
+        head = None
         if existing and manifests:
-            head = ShardManifest.read(self.task_path(existing[0]))
+            # TOCTOU-tolerant: a listed task file can vanish between the
+            # scan and the read (a concurrent resume finishing the shard,
+            # an operator pruning the queue) — probe until one reads.
+            for task_id in existing:
+                try:
+                    head = ShardManifest.read(self.task_path(task_id))
+                    break
+                except (OSError, ValueError):
+                    continue
+        if head is not None:
             for m in manifests:
                 if (m.suite_key, m.n_shards) != (head.suite_key, head.n_shards):
                     raise ValueError(
@@ -386,10 +397,9 @@ class WorkQueue:
             suite_size=1,
             cases=((suite_index, case),),
         )
-        path = self.task_path(task_id)
-        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-        tmp.write_text(canonical_json(manifest.to_payload()))
-        os.replace(tmp, path)
+        write_atomic(
+            self.task_path(task_id), canonical_json(manifest.to_payload())
+        )
         return task_id
 
     def task_ids(self) -> list[str]:
@@ -463,7 +473,9 @@ class WorkQueue:
 
     def claimable(self, task_id: str, now: float | None = None) -> bool:
         """Whether a worker may try to claim ``task_id`` right now."""
-        now = time.time() if now is None else now
+        # Wall clock on purpose: compared against file mtimes (backoff
+        # deadlines), which are wall-clock stamps; never enters results.
+        now = time.time() if now is None else now  # reprolint: ignore[RL003]
         return (
             not self.has_partial(task_id)
             and not self.is_poisoned(task_id)
@@ -503,7 +515,8 @@ class WorkQueue:
                         "worker": worker_id,
                         "pid": os.getpid(),
                         "attempt": self.attempts(task_id) + 1,
-                        "claimed_at": time.time(),
+                        # Diagnostic stamp, never enters results.
+                        "claimed_at": time.time(),  # reprolint: ignore[RL003]
                     }
                 )
             )
@@ -535,11 +548,9 @@ class WorkQueue:
         the partial's own suite-relative name — keeps single-case tasks
         from colliding in the shared ``partials/`` namespace.
         """
-        path = self.partial_path(task_id)
-        self.partials_dir.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-        tmp.write_text(canonical_json(partial.to_payload()))
-        os.replace(tmp, path)
+        path = write_atomic(
+            self.partial_path(task_id), canonical_json(partial.to_payload())
+        )
         self.release(task_id)
         return path
 
@@ -564,7 +575,9 @@ class WorkQueue:
         tombstone (``requeued``), or poisoned once the shard is out of
         attempts.  Safe to run from any number of processes concurrently.
         """
-        now = time.time() if now is None else now
+        # Wall clock on purpose: lease staleness is age vs claim-file
+        # mtime (a wall-clock stamp); never enters results.
+        now = time.time() if now is None else now  # reprolint: ignore[RL003]
         events: list[QueueEvent] = []
         try:
             claims = sorted(self.claims_dir.glob("*.claim"))
@@ -620,10 +633,7 @@ class WorkQueue:
                     if p.name.startswith(f"{task_id}.attempt-")
                 ),
             }
-            path = self.poison_path(task_id)
-            tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-            tmp.write_text(canonical_json(report))
-            os.replace(tmp, path)
+            write_atomic(self.poison_path(task_id), canonical_json(report))
             return QueueEvent(task_id, "poisoned", attempt, reason)
         return QueueEvent(task_id, "requeued", attempt, reason)
 
@@ -857,7 +867,11 @@ class FaultInjector:
         """Seam: the worker just won a claim."""
         for spec in self.specs:
             if spec.kind == "corrupt-claim" and self._fire_once(spec):
-                self.queue.claim_path(task_id).write_text("{corrupt claim\x00")
+                # Deliberately torn write: this fault seam simulates the
+                # corruption atomic writers can never produce.
+                self.queue.claim_path(task_id).write_text(  # reprolint: ignore[RL001]
+                    "{corrupt claim\x00"
+                )
             elif spec.kind == "stale-heartbeat" and self._fire_once(spec):
                 self.suppress_heartbeat = True
 
@@ -898,7 +912,11 @@ class FaultInjector:
             if spec.kind == "torn-index" and self._fire_once(spec):
                 try:
                     data = index_path.read_bytes()
-                    index_path.write_bytes(data[: max(1, len(data) // 2)])
+                    # Deliberately in-place truncation: simulates external
+                    # corruption, must NOT be atomic.
+                    index_path.write_bytes(  # reprolint: ignore[RL001]
+                        data[: max(1, len(data) // 2)]
+                    )
                 except OSError:
                     pass
 
@@ -1349,7 +1367,8 @@ class QueueBackend:
             nonlocal next_id
             wid = f"w{next_id}"
             next_id += 1
-            log = open(queue.logs_dir / f"{wid}.log", "w")
+            # Append-style diagnostic stream, not a durable artifact.
+            log = open(queue.logs_dir / f"{wid}.log", "w")  # reprolint: ignore[RL001]
             procs[wid] = (
                 subprocess.Popen(
                     self._worker_cmd(queue, cache_root, wid),

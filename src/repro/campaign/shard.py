@@ -44,7 +44,6 @@ multi-machine deployment.
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
@@ -64,6 +63,7 @@ from repro.campaign.cache import ArtifactCache
 from repro.campaign.spec import CampaignCase
 from repro.core.metrics import METRIC_NAMES
 from repro.core.study import CaseResult
+from repro.io.atomic import write_atomic
 from repro.io.json_io import canonical_json, payload_digest
 from repro.util.tables import format_matrix, format_table
 
@@ -183,12 +183,9 @@ class ShardManifest:
         killed writer never leaves a truncated file under the final name.
         """
         directory = pathlib.Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / self.filename
-        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-        tmp.write_text(canonical_json(self.to_payload()))
-        os.replace(tmp, path)
-        return path
+        return write_atomic(
+            directory / self.filename, canonical_json(self.to_payload())
+        )
 
     @classmethod
     def read(cls, path: pathlib.Path | str) -> "ShardManifest":
@@ -290,12 +287,9 @@ class ShardPartial:
         never leaves a truncated partial for ``merge`` to trip over.
         """
         directory = pathlib.Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / self.filename
-        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
-        tmp.write_text(canonical_json(self.to_payload()))
-        os.replace(tmp, path)
-        return path
+        return write_atomic(
+            directory / self.filename, canonical_json(self.to_payload())
+        )
 
     @classmethod
     def read(cls, path: pathlib.Path | str) -> "ShardPartial":

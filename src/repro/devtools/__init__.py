@@ -1,0 +1,28 @@
+"""Developer tooling: ``reprolint``, the repo's invariant linter.
+
+Nine PRs of byte-identity guarantees rest on conventions — atomic
+tmp+\\ ``os.replace`` writes, canonical JSON serialization, per-case
+derived RNG seeds, TOCTOU-tolerant directory scans, frozen
+``_reference`` oracles, abort-signal hygiene in worker loops.  This
+package checks them mechanically: ``python -m repro.devtools.lint``
+parses the tree with :mod:`ast` and runs the rule registry
+(``RL001``–``RL006``, see :mod:`repro.devtools.rules`), comparing
+findings against a checked-in baseline so new violations fail CI while
+accepted ones don't.  ``docs/invariants.md`` catalogues the contracts;
+``reprolint --explain RLxxx`` renders each rule's page.
+"""
+
+from repro.devtools.baseline import Baseline, fingerprint_findings
+from repro.devtools.rules import Finding, all_rules, rule_by_id
+
+# NOTE: repro.devtools.lint is deliberately not imported here — importing
+# it from the package __init__ would shadow ``python -m
+# repro.devtools.lint`` with a runpy double-import warning.
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "all_rules",
+    "fingerprint_findings",
+    "rule_by_id",
+]

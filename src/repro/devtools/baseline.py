@@ -1,0 +1,145 @@
+"""Reprolint baselines: accepted findings that don't block CI.
+
+A baseline is a checked-in JSON file listing the *accepted* findings —
+violations that predate a rule or are deliberately frozen (the v1 cache
+envelope's ``json.dumps``).  CI runs ``reprolint --baseline`` and fails
+only on findings *not* in the file, so the tree ratchets toward clean
+without a flag-day rewrite.
+
+Entries are keyed by **fingerprint**, not line number: a SHA-256 over
+``path | rule | normalized source line | occurrence index``, so a
+finding keeps matching its baseline entry when unrelated edits shift it
+down the file, and expires the moment the offending line itself changes
+or disappears.  Expired entries are reported (and pruned by
+``--update-baseline``) so the baseline never accretes dead weight.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.devtools.rules import Finding
+from repro.io.json_io import canonical_json
+
+__all__ = ["Baseline", "BaselineDelta", "fingerprint_findings"]
+
+_FORMAT = "reprolint-baseline-v1"
+
+
+def _normalize(snippet: str) -> str:
+    """Whitespace-insensitive form of a source line."""
+    return " ".join(snippet.split())
+
+
+def fingerprint_findings(
+    findings: "list[Finding]", sources: "dict[str, list[str]]"
+) -> "list[Finding]":
+    """Return ``findings`` with line-drift-resilient fingerprints filled.
+
+    ``sources`` maps display paths to source lines.  Two findings of the
+    same rule on identical source lines in one file are disambiguated by
+    occurrence index (first-to-last), so duplicated violations don't
+    collapse into one baseline entry.  Project-rule findings (no source
+    on hand) fingerprint over the message instead of the line.
+    """
+
+    seen: dict[tuple, int] = {}
+    out: list[Finding] = []
+    for finding in findings:
+        lines = sources.get(finding.path)
+        if lines is not None and 1 <= finding.line <= len(lines):
+            snippet = _normalize(lines[finding.line - 1])
+        else:
+            snippet = _normalize(finding.message)
+        key = (finding.path, finding.rule, snippet)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        digest = hashlib.sha256(
+            f"{finding.path}|{finding.rule}|{snippet}|{occurrence}".encode()
+        ).hexdigest()[:20]
+        out.append(
+            Finding(
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                rule=finding.rule,
+                message=finding.message,
+                fingerprint=digest,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class BaselineDelta:
+    """Result of comparing current findings against a baseline."""
+
+    new: "tuple[Finding, ...]"
+    matched: "tuple[Finding, ...]"
+    expired: "tuple[dict, ...]"
+
+
+class Baseline:
+    """An accepted-findings file (load / compare / rewrite)."""
+
+    def __init__(self, entries: "list[dict] | None" = None):
+        self.entries = list(entries or [])
+
+    @classmethod
+    def load(cls, path: "pathlib.Path | str") -> "Baseline":
+        """Parse a baseline file; a missing file is an empty baseline."""
+        path = pathlib.Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return cls()
+        if payload.get("format") != _FORMAT:
+            raise ValueError(f"{path} is not a {_FORMAT} file")
+        return cls(list(payload.get("entries", [])))
+
+    def fingerprints(self) -> "set[str]":
+        """The set of accepted fingerprints."""
+        return {entry["fingerprint"] for entry in self.entries}
+
+    def compare(self, findings: "list[Finding]") -> BaselineDelta:
+        """Split ``findings`` into new vs. matched; report stale entries."""
+        accepted = self.fingerprints()
+        new = tuple(f for f in findings if f.fingerprint not in accepted)
+        matched = tuple(f for f in findings if f.fingerprint in accepted)
+        current = {f.fingerprint for f in findings}
+        expired = tuple(
+            entry
+            for entry in self.entries
+            if entry["fingerprint"] not in current
+        )
+        return BaselineDelta(new=new, matched=matched, expired=expired)
+
+    @staticmethod
+    def payload_for(findings: "list[Finding]") -> dict:
+        """Baseline file payload accepting exactly ``findings``."""
+        return {
+            "format": _FORMAT,
+            "entries": [
+                {
+                    "fingerprint": f.fingerprint,
+                    "rule": f.rule,
+                    "path": f.path,
+                    "message": f.message,
+                }
+                for f in sorted(
+                    findings, key=lambda f: (f.path, f.rule, f.fingerprint)
+                )
+            ],
+        }
+
+    @classmethod
+    def write(
+        cls, path: "pathlib.Path | str", findings: "list[Finding]"
+    ) -> None:
+        """Rewrite ``path`` to accept exactly ``findings``."""
+        pathlib.Path(path).write_text(
+            canonical_json(cls.payload_for(findings)) + "\n"
+        )

@@ -6,6 +6,7 @@ archived, diffed and re-analyzed without re-generation, and exports task
 graphs / schedules to human tools (Graphviz DOT, CSV traces).
 """
 
+from repro.io.atomic import write_atomic
 from repro.io.json_io import (
     schedule_from_json,
     schedule_to_json,
@@ -27,4 +28,5 @@ __all__ = [
     "taskgraph_to_dot",
     "disjunctive_to_dot",
     "schedule_trace_csv",
+    "write_atomic",
 ]

@@ -610,7 +610,8 @@ class RobustnessService:
         ]
         if self.config.force:
             cmd.append("--force")
-        log = open(self.queue.logs_dir / f"{wid}.log", "w")
+        # Diagnostic stream for the worker subprocess, not an artifact.
+        log = open(self.queue.logs_dir / f"{wid}.log", "w")  # reprolint: ignore[RL001]
         proc = subprocess.Popen(
             cmd,
             env=QueueBackend._worker_env(),

@@ -222,6 +222,26 @@ class TestScanRaceHardening:
         )
         assert queue.partials() == []
 
+    def test_enqueue_tolerates_head_task_vanishing_mid_scan(self, tmp_path):
+        # The suite-mixing guard reads the first listed task; that file
+        # can vanish between the listing and the read (RL004 class).  The
+        # probe must fall through to the next readable manifest — and
+        # still reject a foreign suite through it.
+        queue, manifests = _enqueued(tmp_path)
+        first = sorted(queue.task_ids())[0]
+        queue.task_path(first).unlink()
+        (queue.tasks_dir / "shard-000-of-999.json").symlink_to(
+            tmp_path / "vanished.json"
+        )
+        new, done = queue.enqueue(manifests)
+        assert (new, done) == (len(manifests), 0)
+        other = expand_suite(SPECS, TINY, base_seed=99)
+        foreign = [
+            m for m in partition_cases(list(enumerate(other)), 3) if m.cases
+        ]
+        with pytest.raises(ValueError, match="already holds suite"):
+            queue.enqueue(foreign)
+
     def test_ready_at_skips_tombstones_vanishing_mid_scan(self, tmp_path):
         queue = WorkQueue(
             tmp_path / "q", QueueConfig(backoff_seconds=30.0)

@@ -1,0 +1,9 @@
+"""RL001 positive fixture: direct write-mode opens, no atomic helper."""
+
+import pathlib
+
+
+def save(path: pathlib.Path, text: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(text)
+    path.with_suffix(".copy").write_text(text)

@@ -1,0 +1,14 @@
+"""RL001 negative fixture: durable writes flow through write_atomic."""
+
+import pathlib
+
+from repro.io.atomic import write_atomic
+
+
+def save(path: pathlib.Path, text: str) -> pathlib.Path:
+    return write_atomic(path, text)
+
+
+def read_back(path: pathlib.Path) -> str:
+    with open(path) as fh:  # read mode: not a finding
+        return fh.read()

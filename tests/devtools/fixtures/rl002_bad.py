@@ -1,0 +1,11 @@
+"""RL002 positive fixture: naked json.dumps / json.dump calls."""
+
+import json
+
+
+def encode(payload: dict) -> str:
+    return json.dumps(payload)
+
+
+def dump_to(payload: dict, fh) -> None:
+    json.dump(payload, fh)

@@ -1,0 +1,13 @@
+"""RL002 negative fixture: canonical serialization, reads allowed."""
+
+import json
+
+from repro.io.json_io import canonical_json
+
+
+def encode(payload: dict) -> str:
+    return canonical_json(payload)
+
+
+def decode(text: str) -> dict:
+    return json.loads(text)  # reading is always fine

@@ -1,0 +1,13 @@
+"""RL003 positive fixture: ambient randomness and wall-clock reads."""
+
+import random
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def jitter() -> float:
+    rng = default_rng()  # un-derived: fresh OS entropy
+    noise = np.random.uniform()  # ambient global RNG
+    return random.random() + noise + time.time() + rng.random()

@@ -1,0 +1,15 @@
+"""RL003 negative fixture: derived seeds and monotonic clocks only."""
+
+import time
+
+import numpy as np
+
+from repro.util.rng import as_generator
+
+
+def sample(seed: int) -> float:
+    gen = as_generator(seed)
+    child = np.random.default_rng(np.random.SeedSequence(seed))
+    t0 = time.monotonic()
+    value = gen.uniform() + child.uniform()
+    return value + 0.0 * (time.monotonic() - t0)

@@ -1,0 +1,18 @@
+"""RL004 positive fixture: unguarded access to scanned directory entries."""
+
+import pathlib
+
+
+def total_size(root: pathlib.Path) -> int:
+    total = 0
+    for entry in root.iterdir():
+        total += entry.stat().st_size  # entry can vanish mid-scan
+    return total
+
+
+def read_all(root: pathlib.Path) -> list:
+    listed = sorted(root.glob("*.json"))
+    out = []
+    for path in listed:  # scan result bound to a name first
+        out.append(path.read_text())
+    return out

@@ -1,0 +1,23 @@
+"""RL004 negative fixture: per-entry FileNotFoundError tolerance."""
+
+import pathlib
+
+
+def total_size(root: pathlib.Path) -> int:
+    total = 0
+    for entry in root.iterdir():
+        try:
+            total += entry.stat().st_size
+        except FileNotFoundError:
+            continue  # vanished mid-scan: a normal outcome
+    return total
+
+
+def read_all(root: pathlib.Path) -> list:
+    out = []
+    for path in sorted(root.glob("*.json")):
+        try:
+            out.append(path.read_text())
+        except OSError:
+            continue
+    return out

@@ -1,0 +1,20 @@
+"""RL006 positive fixture: broad handlers swallowing aborts in loops."""
+
+
+def worker_loop(queue) -> None:
+    while True:
+        task = queue.next_task()
+        if task is None:
+            return
+        try:
+            task.run()
+        except Exception:  # swallows ShardAbort with the crash
+            continue
+
+
+def drain(tasks) -> None:
+    for task in tasks:
+        try:
+            task.run()
+        except:  # noqa: E722 - bare except, worse still
+            pass

@@ -1,0 +1,24 @@
+"""RL006 negative fixture: aborts handled first, or re-raised."""
+
+from repro.campaign.shard import ShardAbort
+
+
+def worker_loop(queue) -> None:
+    while True:
+        task = queue.next_task()
+        if task is None:
+            return
+        try:
+            task.run()
+        except ShardAbort:
+            raise  # lease lost: stop claiming this task
+        except Exception:
+            continue  # ordinary crash: try the next task
+
+
+def drain(tasks) -> None:
+    for task in tasks:
+        try:
+            task.run()
+        except Exception:
+            raise  # broad but re-raising: nothing is swallowed

@@ -1,0 +1,115 @@
+"""Baseline semantics: accept, expire, line-drift resilience."""
+
+import pathlib
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.lint import lint_paths
+
+VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def _findings(path):
+    return lint_paths([path]).findings
+
+
+class TestFingerprints:
+    def test_fingerprints_survive_line_drift(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(VIOLATION)
+        before = _findings(path)
+        path.write_text("# a comment\n# another\n" + VIOLATION)
+        after = _findings(path)
+        assert [f.fingerprint for f in before] == [
+            f.fingerprint for f in after
+        ]
+        assert before[0].line != after[0].line
+
+    def test_fingerprints_expire_when_the_line_changes(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(VIOLATION)
+        before = _findings(path)
+        path.write_text(VIOLATION.replace("time.time()", "time.time() + 1"))
+        after = _findings(path)
+        assert before[0].fingerprint != after[0].fingerprint
+
+    def test_duplicate_lines_get_distinct_fingerprints(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\n\n\ndef pair():\n"
+            "    a = time.time()\n"
+            "    a = time.time()\n"
+            "    return a\n"
+        )
+        prints = [f.fingerprint for f in _findings(path)]
+        assert len(prints) == 2
+        assert len(set(prints)) == 2
+
+
+class TestBaselineCompare:
+    def test_accepted_findings_are_not_new(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(VIOLATION)
+        findings = _findings(path)
+        baseline_file = tmp_path / "baseline.json"
+        Baseline.write(baseline_file, findings)
+        delta = Baseline.load(baseline_file).compare(findings)
+        assert delta.new == ()
+        assert len(delta.matched) == 1
+        assert delta.expired == ()
+
+    def test_new_violation_is_reported_against_the_baseline(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(VIOLATION)
+        baseline_file = tmp_path / "baseline.json"
+        Baseline.write(baseline_file, _findings(path))
+        path.write_text(
+            VIOLATION + "\n\ndef stamp2():\n    return time.time()\n"
+        )
+        delta = Baseline.load(baseline_file).compare(_findings(path))
+        assert len(delta.new) == 1
+        assert len(delta.matched) == 1
+        assert "stamp2" not in delta.matched[0].message
+
+    def test_fixed_violation_expires_its_entry(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(VIOLATION)
+        baseline_file = tmp_path / "baseline.json"
+        Baseline.write(baseline_file, _findings(path))
+        path.write_text("import time\n\n\ndef stamp():\n    return 0.0\n")
+        delta = Baseline.load(baseline_file).compare(_findings(path))
+        assert delta.new == ()
+        assert delta.matched == ()
+        assert len(delta.expired) == 1
+        assert delta.expired[0]["rule"] == "RL003"
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert baseline.entries == []
+
+    def test_baseline_bytes_are_canonical(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(VIOLATION)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        Baseline.write(a, _findings(path))
+        Baseline.write(b, _findings(path))
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestRepoGate:
+    """The checked-in baseline gates the actual tree: zero new findings."""
+
+    ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+    def test_src_tree_has_no_findings_beyond_the_baseline(self):
+        result = lint_paths([self.ROOT / "src"])
+        baseline = Baseline.load(self.ROOT / "reprolint.baseline.json")
+        delta = baseline.compare(result.findings)
+        assert delta.new == (), [f.to_payload() for f in delta.new]
+        assert delta.expired == ()
+
+    def test_the_baseline_carries_only_the_frozen_envelope(self):
+        # The single accepted finding is the v1 cache envelope's
+        # json.dumps — frozen bytes, documented in docs/invariants.md.
+        baseline = Baseline.load(self.ROOT / "reprolint.baseline.json")
+        assert [e["rule"] for e in baseline.entries] == ["RL002"]
+        assert baseline.entries[0]["path"] == "src/repro/campaign/cache.py"

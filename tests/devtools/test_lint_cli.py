@@ -1,0 +1,125 @@
+"""The ``reprolint`` CLI: formats, exit codes, baselines, explain pages."""
+
+import json
+
+import pytest
+
+from repro.devtools.lint import main
+from repro.devtools.rules import all_rules
+from repro.io.json_io import canonical_json
+
+VIOLATION = "import time\n\n\ndef stamp():\n    return time.time()\n"
+CLEAN = "def stamp():\n    return 0.0\n"
+
+RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(CLEAN)
+        assert main([str(path)]) == 0
+        assert "0 new" in capsys.readouterr().out
+
+    def test_violation_exits_one_and_names_the_rule(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(VIOLATION)
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "RL003" in out
+        assert f"{path.name}:5:" in out
+
+    def test_unparseable_file_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("def broken(:\n")
+        assert main([str(path)]) == 1
+        assert "RL000" in capsys.readouterr().out
+
+
+class TestBaselineFlow:
+    def test_update_then_gate_then_expire(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        baseline = tmp_path / "baseline.json"
+        path.write_text(VIOLATION)
+        assert main([str(path), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        # Accepted: the same violation no longer fails.
+        assert main([str(path), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        # A second violation is new: fails, reporting only the new one.
+        path.write_text(VIOLATION + "\n\ndef other():\n"
+                        "    return time.time()\n")
+        assert main([str(path), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "1 new, 1 baselined" in out
+        # Fixing everything expires the entries but does not fail.
+        path.write_text(CLEAN)
+        assert main([str(path), "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline entry expired" in out
+
+    def test_update_baseline_requires_a_file(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as err:
+            main([str(tmp_path), "--update-baseline"])
+        assert err.value.code == 2
+
+
+class TestJsonReport:
+    """Schema stability of ``--format=json`` (reprolint-report-v1)."""
+
+    def _report(self, tmp_path, capsys, source=VIOLATION):
+        path = tmp_path / "mod.py"
+        path.write_text(source)
+        code = main([str(path), "--format", "json"])
+        return code, capsys.readouterr().out
+
+    def test_schema_fields(self, tmp_path, capsys):
+        code, out = self._report(tmp_path, capsys)
+        payload = json.loads(out)
+        assert code == 1
+        assert payload["format"] == "reprolint-report-v1"
+        assert set(payload) == {
+            "format", "files", "suppressed", "findings", "new",
+            "baselined", "expired", "summary",
+        }
+        assert payload["summary"] == {
+            "total": 1, "new": 1, "baselined": 0, "expired": 0,
+        }
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "path", "line", "col", "rule", "message", "fingerprint",
+        }
+        assert finding["rule"] == "RL003"
+        assert payload["new"] == [finding["fingerprint"]]
+
+    def test_report_bytes_are_canonical(self, tmp_path, capsys):
+        _, out = self._report(tmp_path, capsys)
+        assert out == canonical_json(json.loads(out)) + "\n"
+
+
+class TestDocsSurface:
+    def test_list_rules_names_the_full_registry(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_explain_renders_every_rule_page(self, rule_id, capsys):
+        assert main(["--explain", rule_id]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(f"{rule_id} — ")
+        assert len(out.splitlines()) > 3  # a real page, not a stub
+
+    def test_explain_is_case_insensitive(self, capsys):
+        assert main(["--explain", "rl003"]) == 0
+        assert "RL003" in capsys.readouterr().out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert main(["--explain", "RL999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_every_rule_has_a_substantive_docstring(self):
+        for rule in all_rules():
+            assert rule.__doc__ and len(rule.__doc__.split()) > 30, rule.id

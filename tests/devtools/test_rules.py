@@ -1,0 +1,174 @@
+"""Per-rule fixture assertions: every rule catches its bad fixture and
+passes its clean twin, with the correct rule ID and nothing else.
+"""
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.devtools.lint import lint_paths
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def rules_in(path, **kwargs):
+    """Sorted rule IDs reprolint reports for one file (or tree)."""
+    result = lint_paths([path], **kwargs)
+    return sorted({f.rule for f in result.findings})
+
+
+class TestModuleRuleFixtures:
+    @pytest.mark.parametrize("rule", ["RL001", "RL002", "RL003", "RL004", "RL006"])
+    def test_bad_fixture_fails_with_exactly_its_rule(self, rule):
+        bad = FIXTURES / f"{rule.lower()}_bad.py"
+        assert rules_in(bad) == [rule]
+
+    @pytest.mark.parametrize("rule", ["RL001", "RL002", "RL003", "RL004", "RL006"])
+    def test_ok_fixture_is_clean(self, rule):
+        ok = FIXTURES / f"{rule.lower()}_ok.py"
+        assert rules_in(ok) == []
+
+    def test_rl001_counts_every_write_site(self):
+        result = lint_paths([FIXTURES / "rl001_bad.py"])
+        assert len(result.findings) == 2  # open(..., "w") and .write_text
+
+    def test_rl003_flags_each_entropy_source(self):
+        result = lint_paths([FIXTURES / "rl003_bad.py"])
+        messages = " ".join(f.message for f in result.findings)
+        assert len(result.findings) == 4
+        assert "default_rng() without a seed" in messages
+        assert "wall clock" in messages
+
+    def test_rl004_catches_scan_bound_to_a_name(self):
+        result = lint_paths([FIXTURES / "rl004_bad.py"])
+        lines = sorted(f.line for f in result.findings)
+        assert len(lines) == 2  # direct iterdir loop + named glob loop
+
+    def test_rl006_flags_bare_and_broad_handlers(self):
+        result = lint_paths([FIXTURES / "rl006_bad.py"])
+        messages = [f.message for f in result.findings]
+        assert len(messages) == 2
+        assert any("bare except" in m for m in messages)
+        assert any("except Exception" in m for m in messages)
+
+
+class TestScoping:
+    """Path scoping: package-relative rules apply only where the contract holds."""
+
+    def _tree(self, tmp_path, rel, body):
+        path = tmp_path / "src" / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body))
+        return path
+
+    def test_rl001_ignores_modules_outside_artifact_layers(self, tmp_path):
+        body = """
+            def save(path, text):
+                path.write_text(text)
+        """
+        outside = self._tree(tmp_path, "experiments/report.py", body)
+        inside = self._tree(tmp_path, "campaign/report.py", body)
+        assert rules_in(outside) == []
+        assert rules_in(inside) == ["RL001"]
+
+    def test_rl002_exempts_json_io_itself(self, tmp_path):
+        body = """
+            import json
+
+            def canonical_json(payload):
+                return json.dumps(payload, sort_keys=True)
+        """
+        blessed = self._tree(tmp_path, "io/json_io.py", body)
+        elsewhere = self._tree(tmp_path, "caseset/algebra.py", body)
+        assert rules_in(blessed) == []
+        assert rules_in(elsewhere) == ["RL002"]
+
+    def test_rl003_exempts_the_rng_seam(self, tmp_path):
+        body = """
+            import numpy as np
+
+            def fresh():
+                return np.random.default_rng()
+        """
+        seam = self._tree(tmp_path, "util/rng.py", body)
+        elsewhere = self._tree(tmp_path, "analysis/noise.py", body)
+        assert rules_in(seam) == []
+        assert rules_in(elsewhere) == ["RL003"]
+
+
+class TestPragmas:
+    def test_matching_pragma_suppresses_and_is_counted(self, tmp_path):
+        path = tmp_path / "snippet.py"
+        path.write_text(
+            "import time\n\n"
+            "def stamp():\n"
+            "    return time.time()  # reprolint: ignore[RL003]\n"
+        )
+        result = lint_paths([path])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_pragma_for_another_rule_does_not_suppress(self, tmp_path):
+        path = tmp_path / "snippet.py"
+        path.write_text(
+            "import time\n\n"
+            "def stamp():\n"
+            "    return time.time()  # reprolint: ignore[RL001]\n"
+        )
+        result = lint_paths([path])
+        assert [f.rule for f in result.findings] == ["RL003"]
+        assert result.suppressed == 0
+
+
+class TestOracleCoverage:
+    """RL005 over miniature src/repro trees (project-level rule)."""
+
+    def _kernel_tree(self, tmp_path, with_test=False, with_reference=False):
+        root = tmp_path / "repo"
+        kernel = root / "src" / "repro" / "schedule" / "_kernel.py"
+        kernel.parent.mkdir(parents=True)
+        kernel.write_text(
+            '__all__ = ["mystery_kernel"]\n\n\n'
+            "def mystery_kernel(x):\n"
+            '    """Docstring."""\n'
+            "    return x\n"
+        )
+        if with_reference:
+            kernel.with_name("_reference.py").write_text(
+                '__all__ = ["mystery_kernel_reference"]\n\n\n'
+                "def mystery_kernel_reference(x):\n"
+                '    """Docstring."""\n'
+                "    return x\n"
+            )
+        if with_test:
+            tests = root / "tests"
+            tests.mkdir()
+            (tests / "test_kernel_identity.py").write_text(
+                "# exercises mystery_kernel and mystery_kernel_reference\n"
+            )
+        return root
+
+    def test_unpaired_kernel_is_a_finding(self, tmp_path):
+        root = self._kernel_tree(tmp_path)
+        result = lint_paths([root / "src"])
+        assert [f.rule for f in result.findings] == ["RL005"]
+        assert "mystery_kernel" in result.findings[0].message
+
+    def test_oracle_test_module_satisfies_the_pairing(self, tmp_path):
+        root = self._kernel_tree(tmp_path, with_test=True)
+        assert rules_in(root / "src") == []
+
+    def test_reference_without_a_test_is_still_a_finding(self, tmp_path):
+        # The _reference counterpart satisfies the kernel pairing, but a
+        # frozen oracle nobody compares against is its own finding.
+        root = self._kernel_tree(tmp_path, with_reference=True)
+        result = lint_paths([root / "src"])
+        assert [f.rule for f in result.findings] == ["RL005"]
+        assert "mystery_kernel_reference" in result.findings[0].message
+
+    def test_reference_plus_test_is_clean(self, tmp_path):
+        root = self._kernel_tree(
+            tmp_path, with_test=True, with_reference=True
+        )
+        assert rules_in(root / "src") == []

@@ -101,7 +101,10 @@ class TestQueueStatusJson:
         assert main(
             ["campaign", "queue-status", str(queue.root), "--json"]
         ) == 0
-        payload = json.loads(capsys.readouterr().out)
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        # stdout carries canonical bytes, not merely an equal payload.
+        assert out == canonical_json(payload) + "\n"
         assert payload["format"] == "repro-queue-status-v1"
         assert payload["total"] == 2
         assert payload["open"] == 2

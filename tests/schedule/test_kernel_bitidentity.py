@@ -98,6 +98,49 @@ class TestRankPrimitives:
         assert np.array_equal(_kernel.bil_levels(w), bil_levels_reference(w))
 
 
+class TestReadyTimes:
+    """Direct oracle for :func:`_kernel.ready_times` (RL005 pairing).
+
+    The heuristic sweeps only exercise ``ready_times`` through the full
+    schedulers; this pins the primitive itself, bit-for-bit, against the
+    historical per-predecessor/per-processor loop.
+    """
+
+    @staticmethod
+    def _loop_reference(finish, proc, preds, vols, lat, tau):
+        m = lat.shape[0]
+        if len(preds) == 0:
+            return np.zeros(m)
+        out = np.full(m, -np.inf)
+        for p in range(m):
+            for u, vol in zip(preds, vols):
+                pu = proc[u]
+                arrival = finish[u] + lat[pu, p] + vol * tau[pu, p]
+                out[p] = max(out[p], arrival)
+        return out
+
+    @pytest.mark.parametrize(
+        "name,w", families(), ids=lambda x: x if isinstance(x, str) else ""
+    )
+    def test_bit_identical_to_per_predecessor_loop(self, name, w):
+        gen = np.random.default_rng(31)
+        csr = w.graph.csr()
+        lat, tau = w.platform.latency, w.platform.tau
+        proc = gen.integers(0, w.m, w.n_tasks)
+        finish = gen.uniform(0.0, 50.0, w.n_tasks)
+        for task in range(w.n_tasks):
+            lo, hi = csr.pred_ptr[task], csr.pred_ptr[task + 1]
+            got = _kernel.ready_times(
+                finish, proc, csr.pred_ids[lo:hi], csr.pred_vol[lo:hi],
+                lat, tau,
+            )
+            want = self._loop_reference(
+                finish, proc, csr.pred_ids[lo:hi], csr.pred_vol[lo:hi],
+                lat, tau,
+            )
+            assert np.array_equal(got, want), task
+
+
 class TestTimelinesVsLegacy:
     @pytest.mark.parametrize("seed", range(8))
     def test_random_insertion_traces(self, seed):

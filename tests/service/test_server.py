@@ -127,14 +127,20 @@ def fleet_thread(service: RobustnessService):
         thread.join(timeout=30.0)
 
 
-def get(service: RobustnessService, path: str, timeout: float = 60.0):
-    """GET against the running service; returns (status, headers, body)."""
+def get_raw(service: RobustnessService, path: str, timeout: float = 60.0):
+    """GET against the running service; returns (status, headers, raw bytes)."""
     url = f"http://127.0.0.1:{service.port}{path}"
     try:
         with urllib.request.urlopen(url, timeout=timeout) as resp:
-            return resp.status, dict(resp.headers), json.loads(resp.read())
+            return resp.status, dict(resp.headers), resp.read()
     except urllib.error.HTTPError as err:
-        return err.code, dict(err.headers), json.loads(err.read())
+        return err.code, dict(err.headers), err.read()
+
+
+def get(service: RobustnessService, path: str, timeout: float = 60.0):
+    """GET against the running service; returns (status, headers, body)."""
+    status, headers, raw = get_raw(service, path, timeout=timeout)
+    return status, headers, json.loads(raw)
 
 
 def assert_identical(body: dict, case, direct_result) -> None:
@@ -348,8 +354,13 @@ class TestOps:
         ArtifactCache(config.cache_dir).store(hit_case, hit_result)
         with serving(config) as service:
             assert get(service, f"/case?{qs(HIT)}")[0] == 200
-            status, _, body = get(service, "/stats")
+            status, _, raw = get_raw(service, "/stats")
             assert status == 200
+            body = json.loads(raw)
+            # The wire bytes themselves are canonical, not just the
+            # parsed payload: re-serializing the body reproduces the
+            # response byte for byte.
+            assert raw == canonical_json(body).encode()
             assert body["service"]["requests"] == 1
             assert body["service"]["hits"] == 1
             assert body["cache"]["scans"] == 0

@@ -14,6 +14,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 REQUIRED_DOCS = [
     "README.md",
     "docs/architecture.md",
+    "docs/invariants.md",
     "docs/metrics.md",
     "docs/performance.md",
 ]
